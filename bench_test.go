@@ -1,0 +1,144 @@
+// Benchmarks regenerating every experiment of DESIGN.md (one per
+// table/figure row) plus raw engine throughput. Each experiment bench
+// runs the corresponding internal/expt runner in quick mode and
+// reports its headline quantity via b.ReportMetric; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the recorded full-size tables.
+package aqt_test
+
+import (
+	"strconv"
+	"testing"
+
+	"aqt"
+	"aqt/internal/expt"
+)
+
+// benchExperiment runs one experiment runner per iteration and fails
+// the bench if the experiment's own pass criteria do not hold.
+func benchExperiment(b *testing.B, id string) {
+	r := expt.ByID(id)
+	if r == nil {
+		b.Fatalf("no experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tab := r.Run(true)
+		if !tab.OK {
+			b.Fatalf("%s failed its pass criteria", id)
+		}
+		b.ReportMetric(float64(len(tab.Rows)), "rows")
+	}
+}
+
+func BenchmarkE1_Theorem317_Instability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ins := aqt.NewInstability(aqt.R(1, 4), aqt.InstabilityOptions{MarginM: aqt.R(3, 2)})
+		if ins.RunCycles(2) != 2 || !ins.Unstable() {
+			b.Fatal("instability did not reproduce")
+		}
+		last := ins.Cycles[len(ins.Cycles)-1]
+		b.ReportMetric(last.Growth(), "growth/cycle")
+		b.ReportMetric(float64(last.Steps), "steps/cycle")
+	}
+}
+
+func BenchmarkE2_Lemma36_GadgetPump(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3_Lemma315_Bootstrap(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE4_Lemma316_Stitch(b *testing.B)           { benchExperiment(b, "E4") }
+func BenchmarkE5_Lemma313_ChainPump(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6_Lemma33_Reroute(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7_Theorem41_GreedyStability(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8_Theorem43_TimePriority(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9_Observation44(b *testing.B)             { benchExperiment(b, "E9") }
+func BenchmarkE10_Claims_Invariants(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11_Appendix_Asymptotics(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12_ObliviousReplay(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkE13_NearHalfSweep(b *testing.B)            { benchExperiment(b, "E13") }
+func BenchmarkF1_Figure31_Gadget(b *testing.B)           { benchExperiment(b, "F1") }
+func BenchmarkF2_Figure32_GEpsilon(b *testing.B)         { benchExperiment(b, "F2") }
+func BenchmarkB1_DepthThresholds(b *testing.B)           { benchExperiment(b, "B1") }
+func BenchmarkB2_NTG_LowRate(b *testing.B)               { benchExperiment(b, "B2") }
+func BenchmarkB3_PolicyZoo(b *testing.B)                 { benchExperiment(b, "B3") }
+func BenchmarkB4_FIFO_Below_1_over_d(b *testing.B)       { benchExperiment(b, "B4") }
+func BenchmarkA1_Ablation_ChainLength(b *testing.B)      { benchExperiment(b, "A1") }
+func BenchmarkU1_UniversalStability(b *testing.B)        { benchExperiment(b, "U1") }
+func BenchmarkH1_Heterogeneous(b *testing.B)             { benchExperiment(b, "H1") }
+
+// --- raw engine throughput ---
+
+// BenchmarkEngineStepsRing measures steps/second on a contended ring
+// under random (w,r) traffic, per policy.
+func BenchmarkEngineStepsRing(b *testing.B) {
+	for _, pol := range aqt.Policies() {
+		b.Run(pol.Name(), func(b *testing.B) {
+			g := aqt.Ring(16)
+			adv := aqt.NewRandomWR(g, 24, aqt.R(1, 3), 4, 5)
+			e := aqt.NewEngine(g, pol, adv)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+			b.ReportMetric(float64(e.TotalQueued()), "backlog")
+		})
+	}
+}
+
+// BenchmarkEnginePumpStep measures per-step cost inside a hot gadget
+// pump (large FIFO buffers, the paper's regime). When the seeded
+// configuration drains, the engine is rebuilt and reseeded off the
+// clock.
+func BenchmarkEnginePumpStep(b *testing.B) {
+	p := aqt.Solve(aqt.R(1, 5))
+	for _, s := range []int64{1 << 10, 1 << 12, 1 << 14} {
+		b.Run("S="+strconv.FormatInt(s, 10), func(b *testing.B) {
+			c := aqt.NewChain(p.N, 2, false)
+			e := aqt.NewEngine(c.G, aqt.FIFO{}, nil)
+			c.SeedInvariant(e, 1, int(s))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e.TotalQueued() == 0 {
+					b.StopTimer()
+					e = aqt.NewEngine(c.G, aqt.FIFO{}, nil)
+					c.SeedInvariant(e, 1, int(s))
+					b.StartTimer()
+				}
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkInjectionThroughput measures the adversary script path.
+func BenchmarkInjectionThroughput(b *testing.B) {
+	g := aqt.Line(1)
+	e := aqt.NewEngine(g, aqt.FIFO{}, aqt.NewScript(aqt.Stream{
+		Start: 1, Rate: aqt.R(1, 1), Budget: -1,
+		Route: []aqt.EdgeID{0},
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkParameterSolve measures the exact big.Rat parameter solver.
+func BenchmarkParameterSolve(b *testing.B) {
+	eps := aqt.R(1, 100)
+	for i := 0; i < b.N; i++ {
+		p := aqt.Solve(eps)
+		if p.N == 0 {
+			b.Fatal("bad solve")
+		}
+	}
+}
+
+// BenchmarkDepthThreshold measures the r*(n) bisection.
+func BenchmarkDepthThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if aqt.DepthThreshold(16, 20).IsZero() {
+			b.Fatal("bad threshold")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command aqtsim runs a general adversarial-queuing simulation: pick a
+// topology, a scheduling policy and a random (w,r) adversary, and get
+// queue statistics plus a stability verdict.
+//
+// Usage:
+//
+//	aqtsim -topo ring -size 6 -policy FIFO -w 20 -rate 1/4 -maxlen 3 -steps 10000
+//
+// Rates are rationals ("1/4") or decimals ("0.25").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+	"aqt/internal/stability"
+)
+
+func parseRate(s string) (rational.Rat, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.ParseInt(num, 10, 64)
+		d, err2 := strconv.ParseInt(den, 10, 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return rational.Rat{}, fmt.Errorf("bad rational %q", s)
+		}
+		return rational.New(n, d), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return rational.Rat{}, fmt.Errorf("bad rate %q", s)
+	}
+	return rational.FromFloat(f, 1_000_000), nil
+}
+
+func buildTopo(name string, size int) (*graph.Graph, error) {
+	switch name {
+	case "ring":
+		return graph.Ring(size), nil
+	case "line":
+		return graph.Line(size), nil
+	case "complete":
+		return graph.Complete(size), nil
+	case "grid":
+		return graph.Grid(size, size), nil
+	case "dag":
+		return graph.RandomDAG(size, size*2, 11), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (ring|line|complete|grid|dag)", name)
+	}
+}
+
+func main() {
+	topo := flag.String("topo", "ring", "topology: ring|line|complete|grid|dag")
+	size := flag.Int("size", 6, "topology size parameter")
+	polName := flag.String("policy", "FIFO", "scheduling policy (see -policies)")
+	listPols := flag.Bool("policies", false, "list policies and exit")
+	w := flag.Int64("w", 20, "adversary window size")
+	rateStr := flag.String("rate", "1/4", "adversary rate (per edge per window)")
+	maxLen := flag.Int("maxlen", 3, "max route length d")
+	steps := flag.Int64("steps", 10000, "simulation steps")
+	seed := flag.Int64("seed", 1, "adversary seed")
+	validate := flag.Bool("validate", true, "run the (w,r) compliance validator")
+	csv := flag.String("csv", "", "write the queue-size series to this file")
+	flag.Parse()
+
+	if *listPols {
+		for _, p := range policy.All() {
+			tr := p.Traits()
+			fmt.Printf("%-6s historic=%v timePriority=%v universallyStable=%v\n",
+				p.Name(), tr.Historic, tr.TimePriority, tr.UniversallyStable)
+		}
+		return
+	}
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "aqtsim: %v\n", err)
+		os.Exit(2)
+	}
+	g, err := buildTopo(*topo, *size)
+	if err != nil {
+		die(err)
+	}
+	pol, err := policy.ByName(*polName)
+	if err != nil {
+		die(err)
+	}
+	rate, err := parseRate(*rateStr)
+	if err != nil {
+		die(err)
+	}
+
+	adv := adversary.NewRandomWR(g, *w, rate, *maxLen, *seed)
+	eng := sim.New(g, pol, adv)
+	rec := sim.NewRecorder(maxI64(*steps/512, 1))
+	eng.AddObserver(rec)
+	lat := &sim.LatencyObserver{}
+	eng.AddObserver(lat)
+	var wv *adversary.WindowValidator
+	if *validate {
+		wv = adversary.NewWindowValidator(*w, rate)
+		eng.AddObserver(wv)
+	}
+	eng.Run(*steps)
+
+	snap := eng.Snap()
+	fmt.Printf("topology %s(%d): %d nodes, %d edges\n", *topo, *size, g.NumNodes(), g.NumEdges())
+	fmt.Printf("policy %s, (w=%d, r=%v) adversary, d<=%d, %d steps\n", pol.Name(), *w, rate, *maxLen, *steps)
+	fmt.Printf("injected %d, absorbed %d, in flight %d\n", snap.Injected, snap.Absorbed, snap.TotalQueued)
+	fmt.Printf("peak backlog %d; max single buffer %d (edge %s)\n",
+		rec.PeakTotal(), snap.MaxQueueLen, g.EdgeName(snap.MaxQueueAt))
+	fmt.Printf("max per-buffer residence %d (floor(w*r) bound: %d)\n",
+		eng.MaxResidence(true), stability.ResidenceBound(*w, rate))
+	fmt.Printf("%s\n", lat.Stats())
+	fmt.Printf("verdict: %v\n", stability.Classify(rec.Samples(), 1.25))
+	fmt.Print(rec.AsciiPlot(64, 10))
+	if wv != nil {
+		if err := wv.Check(); err != nil {
+			fmt.Printf("(w,r) compliance: VIOLATED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("(w,r) compliance: OK")
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			die(err)
+		}
+		fmt.Printf("series written to %s\n", *csv)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: the
+// paper's theorems, lemmas, claims and figures (E1-E11, F1-F2) plus
+// the literature baselines (B1-B4).
+//
+// Usage:
+//
+//	experiments [-quick] [-markdown] [-only E1,E7,B3]
+//
+// Without flags it runs the full configuration (several minutes); with
+// -quick it runs the reduced sizing the unit tests use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aqt/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced experiment sizing")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
+	csvDir := flag.String("csvdir", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	runners := expt.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	if *only != "" {
+		var filtered []expt.Runner
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			r := expt.ByID(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			filtered = append(filtered, *r)
+		}
+		runners = filtered
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d experiments ...\n", len(runners))
+	results := expt.RunAll(runners, expt.Quick(*quick), *jobs)
+	failed := 0
+	for _, res := range results {
+		if *markdown {
+			res.Table.Markdown(os.Stdout)
+		} else {
+			res.Table.Render(os.Stdout)
+		}
+		if !res.Table.OK {
+			failed++
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, res.Table.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			if err := res.Table.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			f.Close()
+		}
+	}
+	fmt.Fprint(os.Stderr, expt.Summary(results))
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d table(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+}

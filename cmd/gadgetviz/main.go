@@ -1,0 +1,108 @@
+// Command gadgetviz renders the paper's figures and parameter tables:
+// DOT drawings of Fₙ, F²ₙ (Figure 3.1) and G_ε (Figure 3.2), and the
+// (ε → n, S₀, M) solver output.
+//
+// Usage:
+//
+//	gadgetviz -dot f2 -n 3            # Figure 3.1 as DOT on stdout
+//	gadgetviz -dot geps -eps 1/5      # Figure 3.2 as DOT
+//	gadgetviz -params -eps 1/5        # parameter table
+//	gadgetviz -thresholds             # depth-threshold table r*(n)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aqt/internal/baselines"
+	"aqt/internal/core"
+	"aqt/internal/gadget"
+	"aqt/internal/rational"
+)
+
+func parseRat(s string) (rational.Rat, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.ParseInt(num, 10, 64)
+		d, err2 := strconv.ParseInt(den, 10, 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return rational.Rat{}, fmt.Errorf("bad rational %q", s)
+		}
+		return rational.New(n, d), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return rational.Rat{}, fmt.Errorf("bad value %q", s)
+	}
+	return rational.FromFloat(f, 1_000_000), nil
+}
+
+func main() {
+	dot := flag.String("dot", "", "emit DOT: fn | f2 | geps")
+	n := flag.Int("n", 3, "gadget path length for -dot fn/f2")
+	epsStr := flag.String("eps", "1/5", "epsilon for -dot geps and -params")
+	params := flag.Bool("params", false, "print the parameter solution for -eps")
+	thresholds := flag.Bool("thresholds", false, "print the depth-threshold table r*(n)")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "gadgetviz: %v\n", err)
+		os.Exit(2)
+	}
+	eps, err := parseRat(*epsStr)
+	if err != nil {
+		die(err)
+	}
+
+	switch *dot {
+	case "fn":
+		c := gadget.NewChain(*n, 1, false)
+		if err := c.G.DOT(os.Stdout, fmt.Sprintf("F_%d", *n)); err != nil {
+			die(err)
+		}
+		return
+	case "f2":
+		c := gadget.NewChain(*n, 2, false)
+		if err := c.G.DOT(os.Stdout, fmt.Sprintf("F2_%d (Figure 3.1)", *n)); err != nil {
+			die(err)
+		}
+		return
+	case "geps":
+		p := core.Solve(eps)
+		m := p.MinMEmpirical(rational.FromInt(2))
+		c := gadget.NewChain(p.N, m, true)
+		if err := c.G.DOT(os.Stdout, fmt.Sprintf("G_eps eps=%v (Figure 3.2)", eps)); err != nil {
+			die(err)
+		}
+		return
+	case "":
+	default:
+		die(fmt.Errorf("unknown -dot value %q", *dot))
+	}
+
+	if *params {
+		p := core.Solve(eps)
+		g, _ := p.PumpGrowth().Float64()
+		fmt.Printf("eps = %v  =>  r = %v\n", p.Eps, p.R)
+		fmt.Printf("n (gadget depth)        = %d\n", p.N)
+		fmt.Printf("S0 (min pump size)      = %d\n", p.S0)
+		fmt.Printf("pump growth 2(1-R_n)    = %.4f (lemma guarantees >= 1+eps = %.4f)\n",
+			g, 1+eps.Float())
+		fmt.Printf("M (paper, (1+eps)-based)= %d\n", p.MinM(rational.FromInt(1)))
+		fmt.Printf("M (empirical, margin 2) = %d\n", p.MinMEmpirical(rational.FromInt(2)))
+		fmt.Printf("appendix estimates      : n ~ %.1f, S0 ~ %.0f\n",
+			core.AsymptoticN(eps.Float()), core.AsymptoticS0(eps.Float()))
+		return
+	}
+	if *thresholds {
+		fmt.Println("depth n  r*(n) (pump threshold: r^n = 2r-1)")
+		for _, depth := range []int{3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 64} {
+			fmt.Printf("%7d  %.5f\n", depth, baselines.DepthThreshold(depth, 22).Float())
+		}
+		fmt.Println("limit    0.50000 (the paper's 1/2 + eps bound)")
+		return
+	}
+	flag.Usage()
+}

@@ -1,0 +1,77 @@
+// Command stabilitycheck exercises the paper's section 4 bounds on a
+// chosen topology: it drives random (w,r) traffic at the theorem's
+// rate and verifies that no packet stays in one buffer longer than
+// floor(w·r) steps (Theorem 4.1 for arbitrary greedy policies at
+// r ≤ 1/(d+1); Theorem 4.3 for time-priority policies at r ≤ 1/d).
+//
+// Usage:
+//
+//	stabilitycheck -d 3 -w 40 -steps 20000 [-topo complete -size 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/sim"
+	"aqt/internal/stability"
+)
+
+func main() {
+	d := flag.Int("d", 3, "longest route length")
+	w := flag.Int64("w", 40, "adversary window")
+	steps := flag.Int64("steps", 20000, "steps per run")
+	topo := flag.String("topo", "complete", "topology: complete|ring|grid")
+	size := flag.Int("size", 0, "topology size (0 = d+2)")
+	seed := flag.Int64("seed", 7, "adversary seed")
+	flag.Parse()
+
+	sz := *size
+	if sz == 0 {
+		sz = *d + 2
+	}
+	var g *graph.Graph
+	switch *topo {
+	case "complete":
+		g = graph.Complete(sz)
+	case "ring":
+		g = graph.Ring(sz)
+	case "grid":
+		g = graph.Grid(sz, sz)
+	default:
+		fmt.Fprintf(os.Stderr, "stabilitycheck: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	fail := 0
+	fmt.Printf("Theorem 4.1 — every greedy policy at r = 1/(d+1) = 1/%d:\n", *d+1)
+	rate := stability.GreedyRateBound(*d)
+	for _, pol := range policy.All() {
+		adv := adversary.NewRandomWR(g, *w, rate, *d, *seed)
+		res := stability.CheckResidence(g, pol, sim.Adversary(adv), *w, rate, *d, *steps)
+		fmt.Printf("  %s\n", res)
+		if !res.OK() {
+			fail++
+		}
+	}
+
+	fmt.Printf("\nTheorem 4.3 — time-priority policies at r = 1/d = 1/%d:\n", *d)
+	rate = stability.TimePriorityRateBound(*d)
+	for _, pol := range []policy.Policy{policy.FIFO{}, policy.LIS{}} {
+		adv := adversary.NewRandomWR(g, *w, rate, *d, *seed+1)
+		res := stability.CheckResidence(g, pol, adv, *w, rate, *d, *steps)
+		fmt.Printf("  %s\n", res)
+		if !res.OK() {
+			fail++
+		}
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "\nstabilitycheck: %d bound violation(s)\n", fail)
+		os.Exit(1)
+	}
+	fmt.Println("\nall residence bounds held")
+}

@@ -1,0 +1,65 @@
+// Command sweep measures how the gadget pump's growth factor depends
+// on the injection rate and the pipeline depth n — the quantitative
+// heart of the paper: the pump multiplies the queue by 2(1 − R_n),
+// which exceeds 1 exactly when rⁿ < 2r − 1, and approaches 2r as
+// n → ∞, so arbitrarily small ε = r − 1/2 suffices with deep chains.
+//
+// Usage:
+//
+//	sweep -n 9 -from 0.5 -to 0.8 -points 7 [-scap 2000]
+//	sweep -rate 0.7 -depths 3,4,6,9,12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aqt/internal/baselines"
+	"aqt/internal/rational"
+)
+
+func main() {
+	n := flag.Int("n", 9, "gadget depth for the rate sweep")
+	from := flag.Float64("from", 0.5, "rate sweep start")
+	to := flag.Float64("to", 0.8, "rate sweep end")
+	points := flag.Int("points", 7, "rate sweep points")
+	rate := flag.Float64("rate", 0, "fixed rate for a depth sweep (0 = rate sweep mode)")
+	depths := flag.String("depths", "3,4,6,9,12", "depths for the depth sweep")
+	sCap := flag.Int64("scap", 3000, "cap on the pump size S")
+	flag.Parse()
+
+	if *rate > 0 {
+		r := rational.FromFloat(*rate, 4096)
+		fmt.Printf("depth sweep at r = %v:\n", r)
+		fmt.Printf("%6s %10s %8s %8s %8s %8s\n", "n", "r*(n)", "S", "S'", "growth", "pumps")
+		for _, ds := range strings.Split(*depths, ",") {
+			d, err := strconv.Atoi(strings.TrimSpace(ds))
+			if err != nil || d < 1 {
+				fmt.Fprintf(os.Stderr, "sweep: bad depth %q\n", ds)
+				os.Exit(2)
+			}
+			res := baselines.RunDepthPump(r, d, *sCap)
+			thr := baselines.DepthThreshold(d, 20)
+			fmt.Printf("%6d %10.4f %8d %8d %8.4f %8v\n",
+				d, thr.Float(), res.S, res.Measured, float64(res.Measured)/float64(res.S), res.Pumped())
+		}
+		return
+	}
+
+	fmt.Printf("rate sweep at depth n = %d (threshold r*(%d) = %.4f):\n",
+		*n, *n, baselines.DepthThreshold(*n, 20).Float())
+	fmt.Printf("%8s %8s %8s %8s %8s\n", "r", "S", "S'", "growth", "pumps")
+	for i := 0; i < *points; i++ {
+		f := *from
+		if *points > 1 {
+			f += (*to - *from) * float64(i) / float64(*points-1)
+		}
+		r := rational.FromFloat(f, 4096)
+		res := baselines.RunDepthPump(r, *n, *sCap)
+		fmt.Printf("%8.4f %8d %8d %8.4f %8v\n",
+			r.Float(), res.S, res.Measured, float64(res.Measured)/float64(res.S), res.Pumped())
+	}
+}

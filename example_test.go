@@ -1,0 +1,53 @@
+package aqt_test
+
+import (
+	"fmt"
+
+	"aqt"
+)
+
+// The smallest possible simulation: one packet crossing a 3-edge path.
+func ExampleNewEngine() {
+	g := aqt.Line(3)
+	e := aqt.NewEngine(g, aqt.FIFO{}, nil)
+	e.Seed(aqt.InjNamed(g, "e1", "e2", "e3"))
+	e.Run(3)
+	fmt.Println("absorbed:", e.Absorbed())
+	// Output: absorbed: 1
+}
+
+// Solving the paper's construction parameters for ε = 1/5 (so the
+// adversary rate is r = 0.7).
+func ExampleSolve() {
+	p := aqt.Solve(aqt.R(1, 5))
+	fmt.Printf("r=%v n=%d S0=%d\n", p.R, p.N, p.S0)
+	// Output: r=7/10 n=9 S0=1156
+}
+
+// The Theorem 4.1 residence bound floor(w·r) for a (w, r) = (40, 1/4)
+// adversary.
+func ExampleResidenceBound() {
+	fmt.Println(aqt.ResidenceBound(40, aqt.R(1, 4)))
+	// Output: 10
+}
+
+// The depth-3 pipeline threshold is the golden-ratio conjugate: below
+// it no gadget of depth 3 can pump.
+func ExampleDepthThreshold() {
+	fmt.Printf("%.4f\n", aqt.DepthThreshold(3, 20).Float())
+	// Output: 0.6180
+}
+
+// A scripted rate-1/2 stream: exactly floor(t/2) packets after t
+// active steps.
+func ExampleNewScript() {
+	g := aqt.Line(1)
+	s := aqt.NewScript(aqt.Stream{
+		Start: 1, Rate: aqt.R(1, 2), Budget: 5,
+		Route: []aqt.EdgeID{g.MustEdge("e1")},
+	})
+	e := aqt.NewEngine(g, aqt.FIFO{}, s)
+	e.Run(10)
+	fmt.Println("injected:", e.Injected())
+	// Output: injected: 5
+}

@@ -1,0 +1,3 @@
+module aqt
+
+go 1.22

@@ -1,0 +1,129 @@
+package adversary
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+func TestBurstStreamSchedule(t *testing.T) {
+	g := graph.Line(1)
+	b := NewBurstScript(BurstStream{
+		Start: 3, Period: 5, Burst: 4, Budget: 10, Route: rt(g, "e1"),
+	})
+	e := sim.New(g, fifo(), b)
+	injectedAt := map[int64]int64{}
+	prev := int64(0)
+	for i := 0; i < 20; i++ {
+		e.Step()
+		if d := e.Injected() - prev; d > 0 {
+			injectedAt[e.Now()] = d
+		}
+		prev = e.Injected()
+	}
+	// Bursts at 3 (4 pkts), 8 (4 pkts), 13 (2 pkts, budget exhausted).
+	want := map[int64]int64{3: 4, 8: 4, 13: 2}
+	for step, n := range want {
+		if injectedAt[step] != n {
+			t.Errorf("step %d: injected %d, want %d", step, injectedAt[step], n)
+		}
+	}
+	if e.Injected() != 10 {
+		t.Errorf("total injected %d, want 10", e.Injected())
+	}
+}
+
+func TestBurstScriptValidation(t *testing.T) {
+	g := graph.Line(1)
+	for name, st := range map[string]BurstStream{
+		"zero period": {Period: 0, Burst: 1, Route: rt(g, "e1")},
+		"zero burst":  {Period: 2, Burst: 0, Route: rt(g, "e1")},
+		"no route":    {Period: 2, Burst: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			NewBurstScript(st)
+		}()
+	}
+}
+
+func TestMaxWindowBurstCompliance(t *testing.T) {
+	g := graph.Complete(5)
+	w := int64(24)
+	rate := rational.New(1, 4)
+	adv := MaxWindowBurst(g, w, rate, 3)
+	wv := NewWindowValidator(w, rate)
+	e := sim.New(g, fifo(), adv)
+	e.AddObserver(wv)
+	e.Run(500)
+	if e.Injected() == 0 {
+		t.Fatal("burst adversary injected nothing")
+	}
+	if err := wv.Check(); err != nil {
+		t.Errorf("bursty adversary violated (w,r): %v", err)
+	}
+	// Burstiness: some step must have carried more than one injection
+	// on a single edge's stream (burst size > 1 when allowance allows).
+	if rate.FloorMulInt(w) >= 2 && e.Injected() < 2 {
+		t.Error("no bursts emitted")
+	}
+}
+
+func TestMaxWindowBurstZeroAllowance(t *testing.T) {
+	g := graph.Complete(3)
+	adv := MaxWindowBurst(g, 4, rational.New(1, 8), 2) // floor(0.5) = 0
+	e := sim.New(g, fifo(), adv)
+	e.Run(50)
+	if e.Injected() != 0 {
+		t.Errorf("injected %d with zero allowance", e.Injected())
+	}
+}
+
+// Property: MaxWindowBurst is (w,r)-compliant for arbitrary parameters.
+func TestQuickMaxWindowBurstCompliant(t *testing.T) {
+	f := func(wRaw, num, den, maxLen uint8) bool {
+		w := int64(wRaw%30) + 2
+		n := int64(num%6) + 1
+		d := n + int64(den%8) + 1
+		rate := rational.New(n, d)
+		g := graph.Complete(4)
+		adv := MaxWindowBurst(g, w, rate, int(maxLen%3)+1)
+		wv := NewWindowValidator(w, rate)
+		e := sim.New(g, fifo(), adv)
+		e.AddObserver(wv)
+		e.Run(200)
+		return wv.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem41HoldsUnderBursts(t *testing.T) {
+	// The stability bounds must survive the extremal bursty adversary,
+	// not just smooth pacing.
+	d := 3
+	w := int64(12 * (d + 1))
+	rate := rational.New(1, int64(d+1))
+	for _, pol := range policy.All() {
+		g := graph.Complete(d + 2)
+		adv := MaxWindowBurst(g, w, rate, d)
+		e := sim.New(g, pol, adv)
+		e.Run(4000)
+		if e.Injected() == 0 {
+			t.Fatal("no injections")
+		}
+		bound := rate.FloorMulInt(w)
+		if got := e.MaxResidence(true); got > bound {
+			t.Errorf("%s: bursty residence %d > bound %d", pol.Name(), got, bound)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Edge: 3, T1: 10, T2: 20, Count: 9, Bound: 6}
+	msg := v.Error()
+	for _, want := range []string{"edge 3", "[10,20]", "9", "bound 6"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSequenceCurrentAndString(t *testing.T) {
+	g := graph.Line(1)
+	seq := NewSequence(Phase{
+		Name:  "only",
+		Enter: func(e *sim.Engine) sim.Adversary { return sim.NopAdversary{} },
+		Done:  func(e *sim.Engine) bool { return e.Now() >= 2 },
+	})
+	if seq.Current() != 0 || seq.Finished() {
+		t.Error("fresh sequence state wrong")
+	}
+	if !strings.Contains(seq.String(), "only") {
+		t.Errorf("String = %q", seq.String())
+	}
+	e := sim.New(g, fifoPol(), seq)
+	e.Run(3)
+	if !seq.Finished() || seq.PhaseName() != "done" {
+		t.Errorf("sequence not finished: %s", seq)
+	}
+	if !strings.Contains(seq.String(), "done") {
+		t.Errorf("String = %q", seq.String())
+	}
+}
+
+func TestSequenceNilEnterAdversary(t *testing.T) {
+	g := graph.Line(1)
+	seq := NewSequence(Phase{
+		Name:  "nil-enter",
+		Enter: func(*sim.Engine) sim.Adversary { return nil },
+		Done:  func(e *sim.Engine) bool { return e.Now() >= 1 },
+	})
+	e := sim.New(g, fifoPol(), seq)
+	e.Run(2) // must not panic; nil Enter result becomes Nop
+	if !seq.Finished() {
+		t.Error("sequence did not finish")
+	}
+}
+
+func TestScriptPreStepHook(t *testing.T) {
+	g := graph.Line(1)
+	s := NewScript(Stream{Start: 1, Rate: rational.FromInt(1), Budget: 1, Route: rt(g, "e1")})
+	calls := 0
+	s.SetPreStep(func(*sim.Engine) { calls++ })
+	e := sim.New(g, fifoPol(), s)
+	e.Run(4)
+	if calls != 4 {
+		t.Errorf("PreStep hook called %d times", calls)
+	}
+}
+
+func TestCappedPacerBudgetAccessor(t *testing.T) {
+	p := rational.NewCappedPacer(rational.New(1, 2), 9)
+	if p.Budget() != 9 {
+		t.Errorf("Budget = %d", p.Budget())
+	}
+}

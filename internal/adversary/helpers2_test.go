@@ -1,0 +1,5 @@
+package adversary
+
+import "aqt/internal/policy"
+
+func fifoPol() policy.Policy { return policy.FIFO{} }

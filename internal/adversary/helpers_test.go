@@ -1,0 +1,7 @@
+package adversary
+
+import "aqt/internal/policy"
+
+func fifo() policy.Policy { return policy.FIFO{} }
+
+func ftg() policy.Policy { return policy.FTG{} }

@@ -1,0 +1,77 @@
+package adversary
+
+import (
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/rational"
+)
+
+// Observation 4.4 of the paper: any sequence of packets given by a
+// (w,r) adversary that starts with an S-initial-configuration can be
+// given by a (w*, r*) adversary starting from empty buffers, for any
+// r* > r and w* = ceil((S + w + 1) / (r* - r)). The new adversary
+// injects the initial configuration at step 1 and replays the original
+// adversary's step-t injections at step t+1.
+
+// WStar returns the window size w* = ceil((S + w + 1)/(r* - r)) of
+// Observation 4.4. It panics unless rStar > r.
+func WStar(s, w int64, r, rStar rational.Rat) int64 {
+	diff := rStar.Sub(r)
+	if diff.Sign() <= 0 {
+		panic("adversary: Observation 4.4 needs r* > r")
+	}
+	return rational.FromInt(s + w + 1).Div(diff).Ceil()
+}
+
+// MaxEdgeRequirement returns S, the largest number of seed packets
+// requiring any single edge — the S of "S-initial-configuration".
+func MaxEdgeRequirement(seeds []packet.Injection) int64 {
+	counts := make(map[graph.EdgeID]int64)
+	var max int64
+	for _, inj := range seeds {
+		seen := make(map[graph.EdgeID]bool, len(inj.Route))
+		for _, e := range inj.Route {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			counts[e]++
+			if counts[e] > max {
+				max = counts[e]
+			}
+		}
+	}
+	return max
+}
+
+// Observation44 transforms a scripted adversary plus an initial
+// configuration into an equivalent adversary that starts from empty
+// buffers: the seeds are injected in one burst at step 1, and every
+// original stream is delayed by one step. By Observation 4.4 the
+// result satisfies the (w*, r*) constraint for any r* exceeding the
+// original rate, with w* = WStar(S, w, r, r*) and S =
+// MaxEdgeRequirement(seeds) — which the validators confirm on the
+// resulting execution.
+func Observation44(streams []Stream, seeds []packet.Injection) *Script {
+	out := NewScript()
+	if len(seeds) > 0 {
+		burst := make([]packet.Injection, len(seeds))
+		copy(burst, seeds)
+		out.AddStream(Stream{
+			Name:   "initial-config-burst",
+			Start:  1,
+			Rate:   rational.FromInt(int64(len(burst))),
+			Budget: int64(len(burst)),
+			RouteFn: func(i int64) []graph.EdgeID {
+				return burst[i].Route
+			},
+			Tag: "seed",
+		})
+	}
+	for _, st := range streams {
+		shifted := st
+		shifted.Start = st.Start + 1
+		out.AddStream(shifted)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// RandomWR generates random traffic that provably complies with the
+// (w,r) adversary constraint of Definition 2.1: in every window of w
+// consecutive steps, at most floor(r·w) injected packets require any
+// single edge.
+//
+// Admission control is exact: a candidate route is admitted at step t
+// only if, for each of its edges, the count of admitted packets
+// requiring that edge within the trailing window (t-w, t] stays within
+// the bound. Because any length-w window is a trailing window of its
+// last step, this check enforces the definition for all windows.
+//
+// Routes are random simple paths: from a random start node the walk
+// follows uniformly random outgoing edges, avoiding node revisits, up
+// to MaxLen hops (at least 1). The generator is deterministic for a
+// fixed seed.
+type RandomWR struct {
+	W        int64
+	Rate     rational.Rat
+	MaxLen   int
+	Attempts int // candidate routes tried per step (default 4)
+
+	g       *graph.Graph
+	rng     *rand.Rand
+	history map[graph.EdgeID][]int64 // admitted injection times per edge
+}
+
+// NewRandomWR returns a generator over g. maxLen bounds route length
+// (the parameter d of the stability theorems). seed fixes the stream.
+func NewRandomWR(g *graph.Graph, w int64, rate rational.Rat, maxLen int, seed int64) *RandomWR {
+	if w < 1 {
+		panic("adversary: window must be >= 1")
+	}
+	if maxLen < 1 {
+		panic("adversary: maxLen must be >= 1")
+	}
+	return &RandomWR{
+		W:        w,
+		Rate:     rate,
+		MaxLen:   maxLen,
+		Attempts: 4,
+		g:        g,
+		rng:      rand.New(rand.NewSource(seed)),
+		history:  make(map[graph.EdgeID][]int64),
+	}
+}
+
+// PreStep implements sim.Adversary.
+func (a *RandomWR) PreStep(*sim.Engine) {}
+
+// Inject implements sim.Adversary.
+func (a *RandomWR) Inject(e *sim.Engine) []packet.Injection {
+	t := e.Now()
+	bound := a.Rate.FloorMulInt(a.W)
+	if bound < 1 {
+		// The adversary cannot inject at all with floor(r·w) == 0;
+		// Definition 2.1 then admits no packets in any window.
+		return nil
+	}
+	var out []packet.Injection
+	for i := 0; i < a.Attempts; i++ {
+		route := a.randomRoute()
+		if route == nil {
+			continue
+		}
+		if a.admit(t, route, bound) {
+			out = append(out, packet.Injection{Route: route, SourceName: "randwr"})
+		}
+	}
+	return out
+}
+
+// admit checks the trailing-window bound for every edge on the route
+// and records the injection when admitted.
+func (a *RandomWR) admit(t int64, route []graph.EdgeID, bound int64) bool {
+	for _, eid := range route {
+		if int64(a.trailingCount(eid, t))+1 > bound {
+			return false
+		}
+	}
+	for _, eid := range route {
+		a.history[eid] = append(a.history[eid], t)
+	}
+	return true
+}
+
+// trailingCount returns how many admitted packets requiring eid were
+// injected in (t-w, t]. It prunes old history as it goes.
+func (a *RandomWR) trailingCount(eid graph.EdgeID, t int64) int {
+	ts := a.history[eid]
+	cut := 0
+	for cut < len(ts) && ts[cut] <= t-a.W {
+		cut++
+	}
+	if cut > 0 {
+		ts = ts[cut:]
+		a.history[eid] = ts
+	}
+	return len(ts)
+}
+
+// randomRoute builds a random simple path of 1..MaxLen edges, or nil
+// if the start node is a sink.
+func (a *RandomWR) randomRoute() []graph.EdgeID {
+	start := graph.NodeID(a.rng.Intn(a.g.NumNodes()))
+	targetLen := 1 + a.rng.Intn(a.MaxLen)
+	route := make([]graph.EdgeID, 0, targetLen)
+	visited := map[graph.NodeID]bool{start: true}
+	cur := start
+	for len(route) < targetLen {
+		outs := a.g.Out(cur)
+		// Collect candidate edges whose heads are unvisited.
+		var cands []graph.EdgeID
+		for _, eid := range outs {
+			if !visited[a.g.Edge(eid).To] {
+				cands = append(cands, eid)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		eid := cands[a.rng.Intn(len(cands))]
+		route = append(route, eid)
+		cur = a.g.Edge(eid).To
+		visited[cur] = true
+	}
+	if len(route) == 0 {
+		return nil
+	}
+	return route
+}

@@ -1,0 +1,176 @@
+package adversary
+
+import (
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+func TestRecorderCapturesSchedule(t *testing.T) {
+	g := graph.Line(2)
+	rec := NewScheduleRecorder()
+	s := NewScript(Stream{Start: 2, Rate: rational.FromInt(1), Budget: 3, Route: rt(g, "e1")})
+	e := sim.New(g, fifo(), s)
+	e.AddObserver(rec)
+	e.Seed(packet.Inj(rt(g, "e2")...))
+	e.Run(6)
+	out := rec.Finish()
+	if len(out) != 4 {
+		t.Fatalf("recorded %d injections, want 4", len(out))
+	}
+	if out[0].Step != 0 || len(out[0].Route) != 1 {
+		t.Errorf("seed record wrong: %+v", out[0])
+	}
+	steps := SortedSteps(out)
+	if len(steps) != 4 || steps[0] != 0 || steps[1] != 2 || steps[3] != 4 {
+		t.Errorf("steps = %v", steps)
+	}
+	// Finish is idempotent.
+	if len(rec.Finish()) != 4 || rec.Len() != 4 {
+		t.Error("Finish not idempotent")
+	}
+}
+
+func TestRecorderCapturesFinalRoutes(t *testing.T) {
+	g := graph.Line(3)
+	rec := NewScheduleRecorder()
+	e := sim.New(g, fifo(), nil)
+	e.AddObserver(rec)
+	p := e.Seed(packet.Inj(rt(g, "e1")...))
+	e.ExtendRoute(p, rt(g, "e2", "e3"))
+	out := rec.Finish()
+	if len(out[0].Route) != 3 {
+		t.Errorf("final route length %d, want 3 (extension included)", len(out[0].Route))
+	}
+}
+
+func TestRecorderPanicsAfterFinish(t *testing.T) {
+	rec := NewScheduleRecorder()
+	rec.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Error("OnInject after Finish did not panic")
+		}
+	}()
+	rec.OnInject(1, &packet.Packet{})
+}
+
+func TestReplayReproducesExecution(t *testing.T) {
+	// Record a run with reroutes, then replay with final routes on a
+	// fresh engine: under a historic policy the executions must agree
+	// step for step (Lemma 3.3 claim (1) / Remark 1).
+	g := graph.Line(4)
+	rate := rational.New(3, 5)
+
+	build := func() (*sim.Engine, *ScheduleRecorder) {
+		rec := NewScheduleRecorder()
+		s := NewScript(Stream{Start: 1, Rate: rate, Budget: 12, Route: rt(g, "e1", "e2")})
+		e := sim.New(g, fifo(), s)
+		e.AddObserver(rec)
+		e.SeedN(5, packet.Inj(rt(g, "e1")...))
+		return e, rec
+	}
+	orig, rec := build()
+	// Mid-run, extend the seeds' routes (they all share e1; e3/e4 are
+	// new edges).
+	var seeds []*packet.Packet
+	orig.ForEachQueued(func(_ graph.EdgeID, p *packet.Packet) {
+		if p.InjectedAt == 0 {
+			seeds = append(seeds, p)
+		}
+	})
+	for _, p := range seeds {
+		orig.ExtendRoute(p, rt(g, "e2", "e3"))
+	}
+	orig.Run(40)
+	schedule := rec.Finish()
+
+	replayEng := sim.New(g, fifo(), NewReplay(schedule))
+	SeedRecording(replayEng, schedule)
+	for replayEng.Now() < orig.Now() {
+		replayEng.Step()
+	}
+	if err := DivergenceAt(orig, replayEng); err != nil {
+		t.Errorf("replay diverged: %v", err)
+	}
+}
+
+func TestReplayStepLockstep(t *testing.T) {
+	// Lockstep comparison at every step, not only at the end.
+	g := graph.Line(3)
+	rate := rational.New(1, 2)
+	rec := NewScheduleRecorder()
+	s := NewScript(Stream{Start: 1, Rate: rate, Budget: 10, Route: rt(g, "e1", "e2", "e3")})
+	orig := sim.New(g, fifo(), s)
+	orig.AddObserver(rec)
+	orig.Run(30)
+	schedule := rec.Finish()
+
+	a := sim.New(g, fifo(), NewScript(Stream{Start: 1, Rate: rate, Budget: 10, Route: rt(g, "e1", "e2", "e3")}))
+	b := sim.New(g, fifo(), NewReplay(schedule))
+	SeedRecording(b, schedule)
+	for i := 0; i < 30; i++ {
+		a.Step()
+		b.Step()
+		if err := DivergenceAt(a, b); err != nil {
+			t.Fatalf("step %d: %v", i+1, err)
+		}
+	}
+}
+
+func TestValidateRecording(t *testing.T) {
+	g := graph.Line(2)
+	rate := rational.New(1, 2)
+	rec := NewScheduleRecorder()
+	s := NewScript(Stream{Start: 1, Rate: rate, Budget: 20, Route: rt(g, "e1")})
+	e := sim.New(g, fifo(), s)
+	e.AddObserver(rec)
+	e.Run(60)
+	schedule := rec.Finish()
+	if err := ValidateRecording(schedule, rate, 100, 100); err != nil {
+		t.Errorf("compliant recording flagged: %v", err)
+	}
+	// The same schedule fails a lower-rate check.
+	if err := ValidateRecording(schedule, rational.New(1, 4), 100, 100); err == nil {
+		t.Error("overloaded recording not flagged")
+	}
+}
+
+func TestDivergenceAtDetectsDifferences(t *testing.T) {
+	g := graph.Line(2)
+	a := sim.New(g, fifo(), nil)
+	b := sim.New(g, fifo(), nil)
+	a.Step()
+	if err := DivergenceAt(a, b); err == nil {
+		t.Error("time difference not detected")
+	}
+	b.Step()
+	if err := DivergenceAt(a, b); err != nil {
+		t.Errorf("identical engines flagged: %v", err)
+	}
+	a.SetAdversary(nil)
+	b2 := sim.New(g, fifo(), nil)
+	b2.Seed(packet.Inj(rt(g, "e1")...))
+	b2.Step()
+	a.Step()
+	b2.Step()
+	a.Step()
+	if err := DivergenceAt(a, b2); err == nil {
+		t.Error("injection difference not detected")
+	}
+}
+
+func TestReplayLastStep(t *testing.T) {
+	rec := []RecordedInjection{
+		{Step: 0, Route: []graph.EdgeID{0}},
+		{Step: 5, Route: []graph.EdgeID{0}},
+		{Step: 3, Route: []graph.EdgeID{0}},
+	}
+	rp := NewReplay(rec)
+	if rp.LastStep() != 5 {
+		t.Errorf("LastStep = %d", rp.LastStep())
+	}
+}

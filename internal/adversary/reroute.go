@@ -1,0 +1,166 @@
+package adversary
+
+import (
+	"fmt"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// SharedEdge returns an edge common to the remaining routes of all the
+// given packets, if one exists (the precondition of Lemma 3.3 on the
+// rerouted set P0). Ties are resolved to the lowest edge ID.
+func SharedEdge(pkts []*packet.Packet) (graph.EdgeID, bool) {
+	if len(pkts) == 0 {
+		return graph.NoEdge, false
+	}
+	counts := make(map[graph.EdgeID]int)
+	for _, p := range pkts {
+		seen := make(map[graph.EdgeID]bool)
+		for _, e := range p.RemainingRoute() {
+			if !seen[e] {
+				seen[e] = true
+				counts[e]++
+			}
+		}
+	}
+	best, found := graph.NoEdge, false
+	for e, c := range counts {
+		if c == len(pkts) && (!found || e < best) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// Rerouter validates and performs Lemma 3.3 reroutes. It observes
+// every injection so it can decide which edges are "new" to the
+// current packet population (Definition 3.2): an edge is new to P(t)
+// if no packet injected at time >= t* - ceil(1/r) uses it in its
+// route, where t* is the minimum injection time over P(t).
+//
+// Use it as an engine observer and perform reroutes through
+// ExtendBatch / ReplaceBatch; those check the lemma's preconditions
+// (historic policy, shared edge, new edges) before mutating routes.
+type Rerouter struct {
+	Rate rational.Rat
+	// lastUse[e] is the latest injection time of any packet whose
+	// route (as first injected or later extended) includes e.
+	lastUse map[graph.EdgeID]int64
+	seenAny map[graph.EdgeID]bool
+}
+
+// NewRerouter returns a Rerouter for a rate-r adversary.
+func NewRerouter(rate rational.Rat) *Rerouter {
+	if rate.Sign() <= 0 {
+		panic("adversary: rerouter needs a positive rate")
+	}
+	return &Rerouter{
+		Rate:    rate,
+		lastUse: make(map[graph.EdgeID]int64),
+		seenAny: make(map[graph.EdgeID]bool),
+	}
+}
+
+// OnStep implements sim.Observer.
+func (r *Rerouter) OnStep(*sim.Engine) {}
+
+// OnInject implements sim.InjectionObserver.
+func (r *Rerouter) OnInject(t int64, p *packet.Packet) {
+	r.note(t, p.Route)
+}
+
+// OnReroute implements sim.RerouteObserver: edges added by a reroute
+// count as used at the packet's injection time (they become part of
+// the adversary A' of Lemma 3.3, which injected the packet then).
+func (r *Rerouter) OnReroute(t int64, p *packet.Packet, oldRoute []graph.EdgeID) {
+	r.note(p.InjectedAt, p.Route)
+}
+
+func (r *Rerouter) note(t int64, route []graph.EdgeID) {
+	for _, e := range route {
+		if !r.seenAny[e] || r.lastUse[e] < t {
+			r.seenAny[e] = true
+			r.lastUse[e] = t
+		}
+	}
+}
+
+// IsNew reports whether edge e is new to the current packet population
+// of the engine per Definition 3.2: no recorded route of a packet
+// injected at or after tStar - ceil(1/r) uses e, where tStar is the
+// minimum injection time among packets currently in the network.
+func (r *Rerouter) IsNew(e *sim.Engine, edge graph.EdgeID) bool {
+	tStar, any := minInjectionTime(e)
+	if !any {
+		return true
+	}
+	return r.isNewAt(tStar, edge)
+}
+
+// isNewAt is IsNew with the population's minimum injection time
+// precomputed — batch callers compute tStar once instead of scanning
+// every queued packet per edge.
+func (r *Rerouter) isNewAt(tStar int64, edge graph.EdgeID) bool {
+	last, used := r.lastUse[edge], r.seenAny[edge]
+	if !used {
+		return true
+	}
+	threshold := tStar - r.Rate.Inv().Ceil()
+	return last < threshold
+}
+
+func minInjectionTime(e *sim.Engine) (int64, bool) {
+	min, any := int64(0), false
+	e.ForEachQueued(func(_ graph.EdgeID, p *packet.Packet) {
+		if !any || p.InjectedAt < min {
+			min, any = p.InjectedAt, true
+		}
+	})
+	return min, any
+}
+
+// ExtendBatch applies Lemma 3.3 to a set of packets: it verifies the
+// preconditions — the engine's policy is historic, the packets'
+// remaining routes share an edge, and every edge of every extension is
+// new to the current population — and then extends each packet's route.
+// ext receives each packet and returns its extension (nil to leave the
+// packet alone). It returns an error (changing nothing) when a
+// precondition fails.
+func (r *Rerouter) ExtendBatch(e *sim.Engine, pkts []*packet.Packet, ext func(p *packet.Packet) []graph.EdgeID) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	if !e.Policy().Traits().Historic {
+		return fmt.Errorf("adversary: policy %s is not historic; Lemma 3.3 does not apply", e.Policy().Name())
+	}
+	if _, ok := SharedEdge(pkts); !ok {
+		return fmt.Errorf("adversary: rerouted packets share no common edge")
+	}
+	tStar, any := minInjectionTime(e)
+	exts := make([][]graph.EdgeID, len(pkts))
+	for i, p := range pkts {
+		exts[i] = ext(p)
+		for _, edge := range exts[i] {
+			if any && !r.isNewAt(tStar, edge) {
+				return fmt.Errorf("adversary: extension edge %d is not new to P(t)", edge)
+			}
+		}
+	}
+	for i, p := range pkts {
+		if len(exts[i]) > 0 {
+			e.ExtendRoute(p, exts[i])
+		}
+	}
+	return nil
+}
+
+// MustExtendBatch is ExtendBatch but panics on error; the paper's
+// constructions use it because their preconditions hold by design.
+func (r *Rerouter) MustExtendBatch(e *sim.Engine, pkts []*packet.Packet, ext func(p *packet.Packet) []graph.EdgeID) {
+	if err := r.ExtendBatch(e, pkts, ext); err != nil {
+		panic(err)
+	}
+}

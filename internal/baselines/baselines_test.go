@@ -1,0 +1,159 @@
+package baselines
+
+import (
+	"testing"
+
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+)
+
+func TestPumpsAtDepthPredicate(t *testing.T) {
+	cases := []struct {
+		r    rational.Rat
+		n    int
+		want bool
+	}{
+		// n = 2 never pumps: r² < 2r−1 ⇔ (1−r)² < 0.
+		{rational.New(9, 10), 2, false},
+		{rational.New(99, 100), 2, false},
+		// n = 3 threshold is the golden ratio conjugate ≈ 0.618.
+		{rational.New(6, 10), 3, false},
+		{rational.New(62, 100), 3, true},
+		{rational.New(7, 10), 3, true},
+		// n = 9 at r = 0.7 pumps (the main construction's regime).
+		{rational.New(7, 10), 9, true},
+		// Below 1/2 no depth pumps.
+		{rational.New(49, 100), 50, false},
+		{rational.New(1, 2), 50, false},
+		// Degenerate inputs.
+		{rational.FromInt(1), 5, false},
+		{rational.FromInt(0), 5, false},
+	}
+	for _, c := range cases {
+		if got := PumpsAtDepth(c.r, c.n); got != c.want {
+			t.Errorf("PumpsAtDepth(%v, %d) = %v, want %v", c.r, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDepthThresholdValues(t *testing.T) {
+	// r*(3) = (√5−1)/2 ≈ 0.6180.
+	r3 := DepthThreshold(3, 20).Float()
+	if r3 < 0.6179 || r3 > 0.6182 {
+		t.Errorf("r*(3) = %v", r3)
+	}
+	// Strictly decreasing towards 1/2.
+	prev := 2.0
+	for _, n := range []int{3, 4, 5, 7, 9, 12, 16, 24} {
+		v := DepthThreshold(n, 20).Float()
+		if v >= prev {
+			t.Errorf("r*(%d) = %v not decreasing (prev %v)", n, v, prev)
+		}
+		if v <= 0.5 {
+			t.Errorf("r*(%d) = %v <= 1/2", n, v)
+		}
+		prev = v
+	}
+	// Deep pipelines approach 1/2.
+	if v := DepthThreshold(64, 20).Float(); v > 0.52 {
+		t.Errorf("r*(64) = %v, want < 0.52", v)
+	}
+	// n <= 2 returns 1.
+	if !DepthThreshold(2, 10).Eq(rational.FromInt(1)) {
+		t.Error("r*(2) should be 1")
+	}
+}
+
+func TestDepthThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad bits did not panic")
+		}
+	}()
+	DepthThreshold(3, 99)
+}
+
+func TestRunDepthPumpGrowsAboveThreshold(t *testing.T) {
+	// n = 9 at r = 0.7: comfortably above r*(9) ≈ 0.508+; must pump.
+	res := RunDepthPump(rational.New(7, 10), 9, 3000)
+	t.Logf("%s", res.String())
+	if !res.ShouldPump {
+		t.Fatal("predicate says no pump?")
+	}
+	if !res.Pumped() {
+		t.Errorf("expected growth: %s", res)
+	}
+	// Measured close to predicted.
+	if res.Measured < res.Predicted*95/100 {
+		t.Errorf("measured %d far below predicted %d", res.Measured, res.Predicted)
+	}
+}
+
+func TestRunDepthPumpShrinksBelowThreshold(t *testing.T) {
+	// n = 3 at r = 0.55: below r*(3) ≈ 0.618; the pump must shrink the
+	// queue (S' < S).
+	res := RunDepthPump(rational.New(55, 100), 3, 3000)
+	t.Logf("%s", res.String())
+	if res.ShouldPump {
+		t.Fatal("predicate says pump below threshold?")
+	}
+	if res.Pumped() {
+		t.Errorf("queue should shrink below threshold: %s", res)
+	}
+}
+
+func TestLadderNTGStarvesConvoy(t *testing.T) {
+	sc := LadderScenario{
+		L:         6,
+		K:         200,
+		CrossRate: rational.New(3, 5),
+		Steps:     20000,
+	}
+	ntg := sc.Run(policy.NTG{})
+	ftg := sc.Run(policy.FTG{})
+	fifo := sc.Run(policy.FIFO{})
+	t.Logf("NTG:  %s", ntg)
+	t.Logf("FTG:  %s", ftg)
+	t.Logf("FIFO: %s", fifo)
+	for _, r := range []LadderResult{ntg, ftg, fifo} {
+		if !r.Drained() {
+			t.Fatalf("%s did not drain within horizon", r.Policy)
+		}
+	}
+	// NTG leaks the convoy at 1−r: drain ≈ K/(1−r) = 500 plus hop
+	// slack. FTG prioritizes the convoy and drains much faster.
+	if ntg.DrainTime < 450 || ntg.DrainTime > 600 {
+		t.Errorf("NTG drain %d far from K/(1−r) = 500", ntg.DrainTime)
+	}
+	if ntg.DrainTime*2 < ftg.DrainTime*3 { // NTG >= 1.5 × FTG
+		t.Errorf("NTG drain %d not >> FTG drain %d", ntg.DrainTime, ftg.DrainTime)
+	}
+	if ntg.DrainTime < fifo.DrainTime {
+		t.Errorf("NTG drain %d < FIFO drain %d", ntg.DrainTime, fifo.DrainTime)
+	}
+}
+
+func TestLadderStarvationGrowsWithRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	// NTG's convoy drain time grows like K/(1−r) with the crossing
+	// rate; FTG's stays flat — the B2 shape.
+	prevNTG := int64(0)
+	for _, r := range []rational.Rat{rational.New(1, 5), rational.New(2, 5), rational.New(3, 5), rational.New(4, 5)} {
+		sc := LadderScenario{L: 4, K: 150, CrossRate: r, Steps: 40000}
+		ntg := sc.Run(policy.NTG{})
+		ftg := sc.Run(policy.FTG{})
+		t.Logf("r=%v: NTG drain %d, FTG drain %d", r, ntg.DrainTime, ftg.DrainTime)
+		if !ntg.Drained() || !ftg.Drained() {
+			t.Fatalf("r=%v: horizon too short", r)
+		}
+		if ntg.DrainTime <= prevNTG {
+			t.Errorf("NTG drain not increasing at r=%v", r)
+		}
+		if ftg.DrainTime > 2*int64(sc.K) {
+			t.Errorf("FTG drain %d should stay near K", ftg.DrainTime)
+		}
+		prevNTG = ntg.DrainTime
+	}
+}

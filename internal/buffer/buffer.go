@@ -1,0 +1,152 @@
+// Package buffer implements the per-edge packet buffer of an
+// adversarial queuing network.
+//
+// A buffer keeps packets in enqueue order (front = earliest). It is a
+// growable ring deque so that FIFO service — by far the hottest policy
+// in the paper's constructions, where single buffers hold tens of
+// thousands of packets — pops the front in O(1); removal at an
+// arbitrary index (needed by every other policy) moves the shorter
+// side of the ring.
+package buffer
+
+import "aqt/internal/packet"
+
+// Buffer is a queue of packets in enqueue order. The zero value is an
+// empty buffer ready to use.
+type Buffer struct {
+	ring []*packet.Packet
+	head int // index of front element
+	n    int // number of elements
+}
+
+// Len returns the number of buffered packets.
+func (b *Buffer) Len() int { return b.n }
+
+// At returns the i-th packet in enqueue order (0 = front). It panics
+// if i is out of range.
+func (b *Buffer) At(i int) *packet.Packet {
+	if i < 0 || i >= b.n {
+		panic("buffer: index out of range")
+	}
+	return b.ring[b.idx(i)]
+}
+
+// Front returns the earliest-enqueued packet. It panics when empty.
+func (b *Buffer) Front() *packet.Packet { return b.At(0) }
+
+// Back returns the latest-enqueued packet. It panics when empty.
+func (b *Buffer) Back() *packet.Packet { return b.At(b.n - 1) }
+
+// PushBack appends a packet at the back of the buffer.
+func (b *Buffer) PushBack(p *packet.Packet) {
+	if b.n == len(b.ring) {
+		b.grow()
+	}
+	b.ring[b.idx(b.n)] = p
+	b.n++
+}
+
+// RemoveAt removes and returns the i-th packet in enqueue order,
+// preserving the order of the rest. Removing the front or back is
+// O(1); the general case moves the shorter side.
+func (b *Buffer) RemoveAt(i int) *packet.Packet {
+	if i < 0 || i >= b.n {
+		panic("buffer: index out of range")
+	}
+	p := b.ring[b.idx(i)]
+	if i < b.n-i-1 {
+		// Shift the prefix right.
+		for j := i; j > 0; j-- {
+			b.ring[b.idx(j)] = b.ring[b.idx(j-1)]
+		}
+		b.ring[b.idx(0)] = nil
+		b.head = b.wrap(b.head + 1)
+	} else {
+		// Shift the suffix left.
+		for j := i; j < b.n-1; j++ {
+			b.ring[b.idx(j)] = b.ring[b.idx(j+1)]
+		}
+		b.ring[b.idx(b.n-1)] = nil
+	}
+	b.n--
+	return p
+}
+
+// PopFront removes and returns the front packet. It panics when empty.
+func (b *Buffer) PopFront() *packet.Packet { return b.RemoveAt(0) }
+
+// Each calls fn for every packet in enqueue order; it stops early if
+// fn returns false.
+func (b *Buffer) Each(fn func(p *packet.Packet) bool) {
+	for i := 0; i < b.n; i++ {
+		if !fn(b.ring[b.idx(i)]) {
+			return
+		}
+	}
+}
+
+// Slice returns the buffered packets as a fresh slice in enqueue order.
+func (b *Buffer) Slice() []*packet.Packet {
+	out := make([]*packet.Packet, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.ring[b.idx(i)]
+	}
+	return out
+}
+
+// IndexOfSeq returns the position (in enqueue order) of the packet
+// with the given EnqueueSeq, or -1 if absent. Because packets enter at
+// the back with strictly increasing sequence numbers, the buffer is
+// sorted by EnqueueSeq and a binary search suffices — this is how the
+// engine's keyed-policy fast path locates a heap-selected packet.
+func (b *Buffer) IndexOfSeq(seq int64) int {
+	lo, hi := 0, b.n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		s := b.ring[b.idx(mid)].EnqueueSeq
+		switch {
+		case s == seq:
+			return mid
+		case s < seq:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return -1
+}
+
+// Clear removes all packets.
+func (b *Buffer) Clear() {
+	for i := 0; i < b.n; i++ {
+		b.ring[b.idx(i)] = nil
+	}
+	b.head, b.n = 0, 0
+}
+
+func (b *Buffer) idx(i int) int {
+	return b.wrap(b.head + i)
+}
+
+func (b *Buffer) wrap(i int) int {
+	if len(b.ring) == 0 {
+		return 0
+	}
+	if i >= len(b.ring) {
+		i -= len(b.ring)
+	}
+	return i
+}
+
+func (b *Buffer) grow() {
+	newCap := len(b.ring) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	fresh := make([]*packet.Packet, newCap)
+	for i := 0; i < b.n; i++ {
+		fresh[i] = b.ring[b.idx(i)]
+	}
+	b.ring = fresh
+	b.head = 0
+}

@@ -1,0 +1,197 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqt/internal/packet"
+)
+
+func pk(id int) *packet.Packet { return &packet.Packet{ID: packet.ID(id)} }
+
+func ids(b *Buffer) []int {
+	var out []int
+	b.Each(func(p *packet.Packet) bool {
+		out = append(out, int(p.ID))
+		return true
+	})
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPushPopOrder(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 20; i++ {
+		b.PushBack(pk(i))
+	}
+	if b.Len() != 20 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Front().ID != 0 || b.Back().ID != 19 {
+		t.Fatal("front/back wrong")
+	}
+	for i := 0; i < 20; i++ {
+		if got := b.PopFront(); int(got.ID) != i {
+			t.Fatalf("pop %d got %d", i, got.ID)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatal("not empty after pops")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var b Buffer
+	// Force head to travel around the ring repeatedly.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 5; i++ {
+			b.PushBack(pk(round*5 + i))
+		}
+		for i := 0; i < 5; i++ {
+			want := round*5 + i
+			if got := b.PopFront(); int(got.ID) != want {
+				t.Fatalf("round %d: got %d want %d", round, got.ID, want)
+			}
+		}
+	}
+}
+
+func TestRemoveAtMiddle(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 7; i++ {
+		b.PushBack(pk(i))
+	}
+	got := b.RemoveAt(3)
+	if got.ID != 3 {
+		t.Fatalf("RemoveAt(3) = %d", got.ID)
+	}
+	if !eq(ids(&b), []int{0, 1, 2, 4, 5, 6}) {
+		t.Fatalf("order after middle removal: %v", ids(&b))
+	}
+	got = b.RemoveAt(0)
+	if got.ID != 0 {
+		t.Fatalf("RemoveAt(0) = %d", got.ID)
+	}
+	got = b.RemoveAt(b.Len() - 1)
+	if got.ID != 6 {
+		t.Fatalf("RemoveAt(last) = %d", got.ID)
+	}
+	if !eq(ids(&b), []int{1, 2, 4, 5}) {
+		t.Fatalf("order: %v", ids(&b))
+	}
+}
+
+func TestAtAndPanics(t *testing.T) {
+	var b Buffer
+	b.PushBack(pk(1))
+	if b.At(0).ID != 1 {
+		t.Error("At(0) wrong")
+	}
+	for _, f := range []func(){
+		func() { b.At(1) },
+		func() { b.At(-1) },
+		func() { b.RemoveAt(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 5; i++ {
+		b.PushBack(pk(i))
+	}
+	count := 0
+	b.Each(func(p *packet.Packet) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Each visited %d, want 3", count)
+	}
+}
+
+func TestSliceAndClear(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 4; i++ {
+		b.PushBack(pk(i))
+	}
+	s := b.Slice()
+	if len(s) != 4 || s[0].ID != 0 || s[3].ID != 3 {
+		t.Error("Slice wrong")
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Error("Clear failed")
+	}
+	b.PushBack(pk(9))
+	if b.Front().ID != 9 {
+		t.Error("buffer unusable after Clear")
+	}
+}
+
+// Property: a Buffer behaves exactly like a reference slice
+// implementation under a random operation sequence.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var b Buffer
+		var ref []*packet.Packet
+		next := 0
+		for _, op := range ops {
+			if op%3 != 0 && len(ref) > 0 {
+				i := int(op) % len(ref)
+				got := b.RemoveAt(i)
+				want := ref[i]
+				ref = append(ref[:i], ref[i+1:]...)
+				if got != want {
+					return false
+				}
+			} else {
+				p := pk(next)
+				next++
+				b.PushBack(p)
+				ref = append(ref, p)
+			}
+			if b.Len() != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if b.At(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var buf Buffer
+	for i := 0; i < b.N; i++ {
+		buf.PushBack(pk(i))
+		if buf.Len() > 1000 {
+			buf.PopFront()
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/gadget"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// eps used by most construction tests: ε = 1/5 → r = 0.7, n = 9,
+// S0 ≈ 1156.
+var testEps = rational.New(1, 5)
+
+func runSequence(t *testing.T, e *sim.Engine, seq *adversary.Sequence, maxSteps int64) {
+	t.Helper()
+	e.SetAdversary(seq)
+	if !e.RunUntil(func(*sim.Engine) bool { return seq.Finished() }, maxSteps) {
+		t.Fatalf("sequence did not finish within %d steps (stuck in %s)", maxSteps, seq.PhaseName())
+	}
+	e.SetAdversary(nil)
+}
+
+func TestLemma315Bootstrap(t *testing.T) {
+	p := Solve(testEps)
+	c := gadget.NewChain(p.N, 1, false)
+	e := sim.New(c.G, policy.FIFO{}, nil)
+	s := 2 * p.S0 // the lemma's S; ingress holds 2S
+	e.SeedN(int(2*s), packet.Injection{Route: []graph.EdgeID{c.Ingress(1)}, Tag: TagFresh})
+
+	var rep BootstrapReport
+	rr := adversary.NewRerouter(p.R)
+	e.AddObserver(rr)
+	seq := adversary.NewSequence(BootstrapPhase(p, c, 1, rr, &rep))
+	runSequence(t, e, seq, 16*s)
+
+	if rep.QIn != 2*s || rep.S != s {
+		t.Fatalf("entry measurement: %+v", rep)
+	}
+	t.Logf("bootstrap: %s (exit inv: eTotal=%d aQueue=%d emptyE=%v badE=%d badA=%d strays=%d)",
+		rep.String(), rep.Exit.ETotal, rep.Exit.AQueue, rep.Exit.EmptyE,
+		rep.Exit.BadERoutes, rep.Exit.BadARoutes, rep.Exit.Strays)
+
+	// Lemma 3.15: S' >= S(1+ε). Allow 2% discretization slack on the
+	// measured value relative to the exact prediction.
+	if rep.SMeasured < rep.SPredicted*98/100 {
+		t.Errorf("S' measured %d << predicted %d", rep.SMeasured, rep.SPredicted)
+	}
+	growth := float64(rep.SMeasured) / float64(rep.S)
+	if growth < 1.2 {
+		t.Errorf("growth %.4f < 1+ε = 1.2", growth)
+	}
+	// Invariant C(S', F): every e-buffer nonempty, no strays.
+	if len(rep.Exit.EmptyE) > 0 || rep.Exit.Strays > 0 {
+		t.Errorf("invariant violated: %v", rep.Exit.Err(int(s)))
+	}
+	e.CheckConservation()
+}
+
+func TestLemma36Pump(t *testing.T) {
+	p := Solve(testEps)
+	c := gadget.NewChain(p.N, 2, false)
+	e := sim.New(c.G, policy.FIFO{}, nil)
+	s := 2 * p.S0
+	c.SeedInvariant(e, 1, int(s))
+
+	var rep PumpReport
+	rr := adversary.NewRerouter(p.R)
+	e.AddObserver(rr)
+	seq := adversary.NewSequence(PumpPhase(p, c, 1, rr, &rep))
+	runSequence(t, e, seq, 16*s)
+
+	t.Logf("pump: %s (exit inv: eTotal=%d aQueue=%d emptyE=%v badE=%d badA=%d strays=%d; left=%d)",
+		rep.String(), rep.Exit.ETotal, rep.Exit.AQueue, rep.Exit.EmptyE,
+		rep.Exit.BadERoutes, rep.Exit.BadARoutes, rep.Exit.Strays, rep.LeftInSource)
+
+	if rep.SIn != s {
+		t.Fatalf("entry S = %d, want %d", rep.SIn, s)
+	}
+	if rep.SMeasured < rep.SPredicted*98/100 {
+		t.Errorf("S' measured %d << predicted %d", rep.SMeasured, rep.SPredicted)
+	}
+	if g := rep.GrowthFactor(); g < 1.2 {
+		t.Errorf("pump growth %.4f < 1+ε", g)
+	}
+	// Lemma 3.6 also asserts F(1) is empty at exit.
+	if rep.LeftInSource > 0 {
+		t.Errorf("source gadget still holds %d packets", rep.LeftInSource)
+	}
+	// Discretization leaves up to n−1 of the long packets still in the
+	// target's f-path at the 2S+n boundary (the egress serves them for
+	// the last n−1 steps once the 2S old packets are through); they
+	// merge into the next pump's old population.
+	if len(rep.Exit.EmptyE) > 0 {
+		t.Errorf("invariant violated on target: %v", rep.Exit.Err(int(s)))
+	}
+	if rep.Exit.Strays >= p.N {
+		t.Errorf("strays %d >= n = %d", rep.Exit.Strays, p.N)
+	}
+	e.CheckConservation()
+}
+
+func TestLemma316Stitch(t *testing.T) {
+	p := Solve(testEps)
+	c := gadget.NewChain(p.N, 2, true)
+	e := sim.New(c.G, policy.FIFO{}, nil)
+	s := int64(3000)
+	// S old packets at the chain egress with route length 1.
+	e.SeedN(int(s), packet.Injection{Route: []graph.EdgeID{c.Egress(2)}, Tag: TagOld})
+
+	var rep StitchReport
+	seq := adversary.NewSequence(StitchPhase(p, c, &rep))
+	runSequence(t, e, seq, 16*s)
+
+	t.Logf("stitch: %s", rep.String())
+	want := StitchPrediction(p.R, s)
+	if rep.SIn != s {
+		t.Fatalf("entry S = %d", rep.SIn)
+	}
+	// ±O(1) boundary effects: a last relay/mix packet may still sit at
+	// a2, and the fresh count can be off by a couple of packets.
+	if rep.Fresh < want*95/100 || rep.Fresh > want+2 {
+		t.Errorf("fresh = %d, predicted %d", rep.Fresh, want)
+	}
+	if rep.Stale > 2 {
+		t.Errorf("stale packets at ingress: %d", rep.Stale)
+	}
+	if rep.Elsewhere != 0 {
+		t.Errorf("stray packets elsewhere: %d", rep.Elsewhere)
+	}
+	e.CheckConservation()
+}

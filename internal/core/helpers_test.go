@@ -1,0 +1,6 @@
+package core
+
+import "aqt/internal/gadget"
+
+// chainForTest builds a chain without stitching.
+func chainForTest(n, m int) *gadget.Chain { return gadget.NewChain(n, m, false) }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"aqt/internal/adversary"
+	"aqt/internal/gadget"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// DrainReport records the no-injection drain that turns C(S, F(M))
+// into a queue at the egress of the chain (the closing argument of
+// Lemma 3.13: after S+n silent steps at least S−n ≥ S/2 packets are
+// queued at the egress).
+type DrainReport struct {
+	Tau       int64
+	SIn       int64 // S of the invariant at entry
+	QEgress   int64 // packets at the chain egress at exit
+	Elsewhere int64 // packets anywhere else at exit (should be 0)
+}
+
+// String summarizes the report.
+func (r DrainReport) String() string {
+	return fmt.Sprintf("drain: S=%d → egress queue %d (elsewhere %d)", r.SIn, r.QEgress, r.Elsewhere)
+}
+
+// DrainPhase runs S+n injection-free steps after the last pump so the
+// 2S packets of C(S, F(M)) collapse onto the egress buffer of the
+// chain.
+func DrainPhase(p Params, c *gadget.Chain, rep *DrainReport) adversary.Phase {
+	if rep == nil {
+		rep = &DrainReport{}
+	}
+	var end int64
+	enter := func(e *sim.Engine) sim.Adversary {
+		tau := e.Now() - 1
+		inv := c.CheckInvariant(e, c.M, true)
+		rep.Tau, rep.SIn = tau, int64(inv.S())
+		end = tau + rep.SIn + int64(p.N)
+		return sim.NopAdversary{}
+	}
+	done := func(e *sim.Engine) bool {
+		if e.Now() <= end {
+			return false
+		}
+		rep.QEgress = int64(e.QueueLen(c.Egress(c.M)))
+		rep.Elsewhere = e.TotalQueued() - rep.QEgress
+		return true
+	}
+	return adversary.Phase{Name: "lemma3.13 drain", Enter: enter, Done: done}
+}
+
+// StitchReport records one application of the Lemma 3.16 adversary.
+type StitchReport struct {
+	Tau int64
+	// SIn is the old queue at a0 (the chain egress) at entry.
+	SIn int64
+	// RS, R2S, R3S are the three stream sizes floor(rS), floor(r²S),
+	// floor(r³S).
+	RS, R2S, R3S int64
+	// Fresh is the measured number of packets at a2 at exit.
+	Fresh int64
+	// Stale counts exit packets at a2 injected at or before τ+S
+	// (Lemma 3.16 says there are none).
+	Stale int64
+	// Elsewhere counts packets outside a2 at exit (should be 0).
+	Elsewhere int64
+}
+
+// String summarizes the report.
+func (r StitchReport) String() string {
+	return fmt.Sprintf("stitch: S=%d → %d fresh at ingress (predicted %d, stale %d, elsewhere %d)",
+		r.SIn, r.Fresh, r.R3S, r.Stale, r.Elsewhere)
+}
+
+// StitchPhase builds the Lemma 3.16 adversary on the three-edge path
+// a0 = egress of F(M), a1 = the stitch edge e0, a2 = ingress of F(1):
+// starting from S packets at a0 with remaining routes of length 1, it
+// leaves floor(r³S) fresh packets (injected after τ+S) at a2 by time
+// τ + S + floor(rS) + floor(r²S), and nothing else in the network.
+func StitchPhase(p Params, c *gadget.Chain, rep *StitchReport) adversary.Phase {
+	if !c.HasStitch() {
+		panic("core: stitch phase needs a chain with the e0 edge")
+	}
+	if rep == nil {
+		rep = &StitchReport{}
+	}
+	var end, freshAfter int64
+	a0, a1, a2 := c.Egress(c.M), c.Stitch(), c.Ingress(1)
+
+	enter := func(e *sim.Engine) sim.Adversary {
+		tau := e.Now() - 1
+		s := int64(e.QueueLen(a0))
+		r := p.R
+		rs := r.FloorMulInt(s)
+		r2s := r.FloorMulInt(rs)
+		r3s := r.FloorMulInt(r2s)
+		rep.Tau, rep.SIn, rep.RS, rep.R2S, rep.R3S = tau, s, rs, r2s, r3s
+		// The paper's closed intervals [S+1, S+rS] and [S+rS, S+rS+r²S]
+		// share their endpoint step; with exact pacing that would let
+		// the mix and fresh streams inject on a2 in the same step and
+		// overshoot the rate-r bound by one. Start the fresh stream one
+		// step later (and extend the phase by one step) instead.
+		end = tau + s + rs + r2s + 1
+		freshAfter = tau + s
+
+		script := adversary.NewScript()
+		// Step (1): rS packets with route a0,a1,a2 during [1, S].
+		script.AddStream(adversary.Stream{
+			Name:   "stitch.relay",
+			Start:  tau + 1,
+			Rate:   r,
+			Budget: rs,
+			Route:  []graph.EdgeID{a0, a1, a2},
+			Tag:    TagLong,
+		})
+		// Step (2): r²S packets at the tail of a2 during [S+1, S+rS].
+		script.AddStream(adversary.Stream{
+			Name:   "stitch.mix",
+			Start:  tau + s + 1,
+			Rate:   r,
+			Budget: r2s,
+			Route:  []graph.EdgeID{a2},
+			Tag:    TagLong,
+		})
+		// Step (3): r³S fresh packets at the tail of a2 during
+		// (S+rS, S+rS+r²S+1].
+		script.AddStream(adversary.Stream{
+			Name:   "stitch.fresh",
+			Start:  tau + s + rs + 1,
+			Rate:   r,
+			Budget: r3s,
+			Route:  []graph.EdgeID{a2},
+			Tag:    TagFresh,
+		})
+		return script
+	}
+
+	done := func(e *sim.Engine) bool {
+		if e.Now() <= end {
+			return false
+		}
+		rep.Fresh = 0
+		rep.Stale = 0
+		e.Queue(a2).Each(func(pk *packet.Packet) bool {
+			if pk.InjectedAt > freshAfter {
+				rep.Fresh++
+			} else {
+				rep.Stale++
+			}
+			return true
+		})
+		rep.Elsewhere = e.TotalQueued() - rep.Fresh - rep.Stale
+		return true
+	}
+
+	return adversary.Phase{Name: "lemma3.16 stitch", Enter: enter, Done: done}
+}
+
+// StitchPrediction returns the paper's exact output size floor(r³S)
+// for a stitch starting from S packets at rate r.
+func StitchPrediction(r rational.Rat, s int64) int64 {
+	return r.FloorMulInt(r.FloorMulInt(r.FloorMulInt(s)))
+}

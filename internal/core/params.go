@@ -1,0 +1,281 @@
+// Package core implements the paper's contribution: the parameter
+// machinery of section 3.2 and the appendix, the adversary
+// constructions of Lemma 3.6 (gadget pump), Lemma 3.15 (bootstrap),
+// Lemma 3.16 (stitch), the chain driver of Lemma 3.13, and the
+// Theorem 3.17 iterative instability adversary, plus the claim-level
+// probes of Claims 3.7–3.12.
+//
+// All parameter arithmetic is exact: powers rⁿ blow past int64
+// rationals, so this package computes with math/big.Rat internally and
+// hands the simulator small integers and low-denominator rates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"aqt/internal/rational"
+)
+
+// Params carries the solved construction parameters for a given ε.
+type Params struct {
+	// Eps is ε > 0; the adversary rate is R = 1/2 + ε.
+	Eps rational.Rat
+	// R = 1/2 + ε, the injection rate of every stream.
+	R rational.Rat
+	// N is the gadget path length n: the smallest integer satisfying
+	// the proof's requirements (see Solve).
+	N int
+	// S0 is the minimum queue size for which the pump guarantees
+	// growth: max(2n, ceil(n / (2(R_n − R_{n+1})))).
+	S0 int64
+}
+
+// bigRat converts a rational.Rat to *big.Rat.
+func bigRat(r rational.Rat) *big.Rat {
+	return new(big.Rat).SetFrac64(r.Num(), r.Den())
+}
+
+// ratFromBig converts a *big.Rat to rational.Rat; it panics if the
+// value does not fit (construction parameters always do).
+func ratFromBig(r *big.Rat) rational.Rat {
+	if !r.Num().IsInt64() || !r.Denom().IsInt64() {
+		panic(fmt.Sprintf("core: rational overflow: %s", r.String()))
+	}
+	return rational.New(r.Num().Int64(), r.Denom().Int64())
+}
+
+// floorBig returns floor(r) as int64.
+func floorBig(r *big.Rat) int64 {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() < 0 && new(big.Int).Rem(r.Num(), r.Denom()).Sign() != 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("core: floor overflow")
+	}
+	return q.Int64()
+}
+
+// ceilBig returns ceil(r) as int64.
+func ceilBig(r *big.Rat) int64 {
+	f := floorBig(r)
+	if new(big.Rat).SetInt64(f).Cmp(r) < 0 {
+		f++
+	}
+	return f
+}
+
+// Solve computes the construction parameters for ε. Following the
+// choice in Lemma 3.6 (and checking the exact inequalities the proof
+// actually uses rather than their logarithmic upper bounds), N is the
+// smallest n >= 2 with
+//
+//	rⁿ < 1/2   and   4·rⁿ < ε,
+//
+// and S0 = max(2n, ceil(n / (2·(R_n − R_{n+1})))), where
+// R_i = (1−r)/(1−rⁱ). Solve panics unless 0 < ε < 1/2.
+func Solve(eps rational.Rat) Params {
+	half := rational.New(1, 2)
+	if eps.Sign() <= 0 || !eps.Less(half) {
+		panic("core: need 0 < eps < 1/2")
+	}
+	r := half.Add(eps)
+	rb := bigRat(r)
+	eb := bigRat(eps)
+
+	// Smallest n with rⁿ < 1/2 and 4 rⁿ < ε.
+	n := 2
+	pow := new(big.Rat).Mul(rb, rb) // r²
+	halfB := big.NewRat(1, 2)
+	four := new(big.Rat).SetInt64(4)
+	for {
+		cond1 := pow.Cmp(halfB) < 0
+		cond2 := new(big.Rat).Mul(four, pow).Cmp(eb) < 0
+		if cond1 && cond2 {
+			break
+		}
+		n++
+		pow.Mul(pow, rb)
+		if n > 4096 {
+			panic("core: parameter search diverged")
+		}
+	}
+
+	rn := riBig(rb, n)
+	rn1 := riBig(rb, n+1)
+	gap := new(big.Rat).Sub(rn, rn1) // R_n − R_{n+1} > 0
+	s0 := ceilBig(new(big.Rat).Quo(
+		new(big.Rat).SetInt64(int64(n)),
+		new(big.Rat).Mul(big.NewRat(2, 1), gap),
+	))
+	if min := int64(2 * n); s0 < min {
+		s0 = min
+	}
+	return Params{Eps: eps, R: r, N: n, S0: s0}
+}
+
+// riBig returns R_i = (1−r)/(1−rⁱ) as a big.Rat.
+func riBig(r *big.Rat, i int) *big.Rat {
+	one := big.NewRat(1, 1)
+	ri := new(big.Rat).SetInt64(1)
+	for k := 0; k < i; k++ {
+		ri.Mul(ri, r)
+	}
+	num := new(big.Rat).Sub(one, r)
+	den := new(big.Rat).Sub(one, ri)
+	return num.Quo(num, den)
+}
+
+// Ri returns R_i = (1−r)/(1−rⁱ) (equation above (3.1)).
+func (p Params) Ri(i int) *big.Rat { return riBig(bigRat(p.R), i) }
+
+// Ti returns t_i = floor(2S / (r + R_i)), the duration of the i-th
+// short-packet stream in the Lemma 3.6 adversary.
+func (p Params) Ti(s int64, i int) int64 {
+	den := new(big.Rat).Add(bigRat(p.R), p.Ri(i))
+	return floorBig(new(big.Rat).Quo(new(big.Rat).SetInt64(2*s), den))
+}
+
+// SPrime returns S′ = floor(2S(1 − R_n)), the pumped queue size of
+// Lemma 3.6.
+func (p Params) SPrime(s int64) int64 {
+	one := big.NewRat(1, 1)
+	v := new(big.Rat).Sub(one, p.Ri(p.N))
+	v.Mul(v, new(big.Rat).SetInt64(2*s))
+	return floorBig(v)
+}
+
+// X returns X = S′ − floor(rS) + n, the size of the part-(4) stream of
+// the Lemma 3.6 adversary. Claim 3.7 guarantees 0 < X <= rS for
+// S >= S0.
+func (p Params) X(s int64) int64 {
+	return p.SPrime(s) - p.R.FloorMulInt(s) + int64(p.N)
+}
+
+// GrowthLowerBound reports whether S′ >= S(1+ε) holds exactly for the
+// given S — the pump guarantee of Lemma 3.6.
+func (p Params) GrowthLowerBound(s int64) bool {
+	sp := new(big.Rat).SetInt64(p.SPrime(s))
+	want := new(big.Rat).Mul(
+		new(big.Rat).SetInt64(s),
+		new(big.Rat).Add(big.NewRat(1, 1), bigRat(p.Eps)),
+	)
+	return sp.Cmp(want) >= 0
+}
+
+// MinM returns the smallest chain length M with r³(1+ε)^M / 4 >
+// margin (Theorem 3.17 uses margin = 1; experiments pass a larger
+// margin to absorb discretization losses).
+func (p Params) MinM(margin rational.Rat) int {
+	if margin.Sign() <= 0 {
+		panic("core: margin must be positive")
+	}
+	r := bigRat(p.R)
+	r3 := new(big.Rat).Mul(r, new(big.Rat).Mul(r, r))
+	onePlusEps := new(big.Rat).Add(big.NewRat(1, 1), bigRat(p.Eps))
+	acc := new(big.Rat).Quo(r3, new(big.Rat).SetInt64(4))
+	target := bigRat(margin)
+	m := 0
+	for acc.Cmp(target) <= 0 {
+		acc.Mul(acc, onePlusEps)
+		m++
+		if m > 1_000_000 {
+			panic("core: MinM diverged")
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// ParamsFor builds Params for an explicit rate and gadget depth,
+// bypassing the minimal-n search. Experiments use it to study how the
+// achievable instability rate depends on the pipeline depth n (the
+// conceptual contrast with the constant-size networks of prior work):
+// the pump grows iff R_n < 1/2, i.e. iff rⁿ < 2r − 1. Eps is set to
+// r − 1/2 (possibly zero or negative; such parameters never pump).
+// It panics unless 0 < r < 1 and n >= 1.
+func ParamsFor(r rational.Rat, n int) Params {
+	if r.Sign() <= 0 || !r.Less(rational.FromInt(1)) {
+		panic("core: need 0 < r < 1")
+	}
+	if n < 1 {
+		panic("core: need n >= 1")
+	}
+	rb := bigRat(r)
+	rn := riBig(rb, n)
+	rn1 := riBig(rb, n+1)
+	gap := new(big.Rat).Sub(rn, rn1)
+	s0 := ceilBig(new(big.Rat).Quo(
+		new(big.Rat).SetInt64(int64(n)),
+		new(big.Rat).Mul(big.NewRat(2, 1), gap),
+	))
+	if min := int64(2 * n); s0 < min {
+		s0 = min
+	}
+	return Params{Eps: r.Sub(rational.New(1, 2)), R: r, N: n, S0: s0}
+}
+
+// PumpGrowth returns the exact per-pump factor 2(1 − R_n) by which
+// Lemma 3.6 multiplies S. The lemma only claims S′ ≥ S(1+ε), but the
+// construction actually achieves 2(1−R_n) ≥ 1+ε, which matters when
+// sizing chains for experiments.
+func (p Params) PumpGrowth() *big.Rat {
+	one := big.NewRat(1, 1)
+	v := new(big.Rat).Sub(one, p.Ri(p.N))
+	return v.Mul(v, big.NewRat(2, 1))
+}
+
+// MinMEmpirical returns the smallest chain length M whose full cycle —
+// bootstrap (×g/2 where g = PumpGrowth), M−1 pumps (×g each), drain
+// (×~1) and stitch (×r³) — multiplies S1 by more than margin:
+//
+//	(g/2) · g^(M−1) · r³ > margin.
+//
+// This is the chain length the experiments use; MinM keeps the
+// paper's (1+ε)-based choice for the parameter tables.
+func (p Params) MinMEmpirical(margin rational.Rat) int {
+	if margin.Sign() <= 0 {
+		panic("core: margin must be positive")
+	}
+	r := bigRat(p.R)
+	r3 := new(big.Rat).Mul(r, new(big.Rat).Mul(r, r))
+	g := p.PumpGrowth()
+	acc := new(big.Rat).Quo(g, big.NewRat(2, 1))
+	acc.Mul(acc, r3)
+	target := bigRat(margin)
+	m := 1
+	for acc.Cmp(target) <= 0 {
+		acc.Mul(acc, g)
+		m++
+		if m > 1_000_000 {
+			panic("core: MinMEmpirical diverged")
+		}
+	}
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// AsymptoticN returns the appendix's closed-form choice
+// n = (log ε − 2)/log r (valid for ε < 1/2), for comparison against
+// the exact N in the asymptotics experiment. Uses float64 logs.
+func AsymptoticN(eps float64) float64 {
+	r := 0.5 + eps
+	return (math.Log2(eps) - 2) / math.Log2(r)
+}
+
+// AsymptoticS0 returns the appendix's S0 ≈ n/(2(R_n − R_{n+1})) upper
+// bound estimate 4n/ε (equation (5.10)), for the asymptotics table.
+func AsymptoticS0(eps float64) float64 {
+	return 4 * AsymptoticN(eps) / eps
+}
+
+// String renders the parameters.
+func (p Params) String() string {
+	return fmt.Sprintf("Params{eps=%v r=%v n=%d S0=%d}", p.Eps, p.R, p.N, p.S0)
+}

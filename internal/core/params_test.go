@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"aqt/internal/rational"
+)
+
+func TestSolveKnownValues(t *testing.T) {
+	// ε = 1/5, r = 7/10: smallest n with 0.7ⁿ < 1/2 and 4·0.7ⁿ < 0.2
+	// is n = 9 (0.7⁹ ≈ 0.0404, 4·0.0404 ≈ 0.1614 < 0.2).
+	p := Solve(rational.New(1, 5))
+	if !p.R.Eq(rational.New(7, 10)) {
+		t.Errorf("R = %v", p.R)
+	}
+	if p.N != 9 {
+		t.Errorf("N = %d, want 9", p.N)
+	}
+	// S0 = ceil(n / (2(R_9 − R_10))) ≈ ceil(9 / 0.007788) = 1156.
+	if p.S0 < 1100 || p.S0 > 1200 {
+		t.Errorf("S0 = %d, want ≈1156", p.S0)
+	}
+}
+
+func TestSolveConditionsExact(t *testing.T) {
+	for _, eps := range []rational.Rat{
+		rational.New(1, 20), rational.New(1, 10), rational.New(1, 5),
+		rational.New(1, 4), rational.New(3, 10), rational.New(2, 5),
+	} {
+		p := Solve(eps)
+		rb := bigRat(p.R)
+		pow := big.NewRat(1, 1)
+		for i := 0; i < p.N; i++ {
+			pow.Mul(pow, rb)
+		}
+		if pow.Cmp(big.NewRat(1, 2)) >= 0 {
+			t.Errorf("eps=%v: r^n >= 1/2", eps)
+		}
+		if new(big.Rat).Mul(big.NewRat(4, 1), pow).Cmp(bigRat(eps)) >= 0 {
+			t.Errorf("eps=%v: 4r^n >= eps", eps)
+		}
+		// Minimality: n-1 must violate one of the conditions.
+		pow.Quo(pow, rb)
+		ok1 := pow.Cmp(big.NewRat(1, 2)) < 0
+		ok2 := new(big.Rat).Mul(big.NewRat(4, 1), pow).Cmp(bigRat(eps)) < 0
+		if p.N > 2 && ok1 && ok2 {
+			t.Errorf("eps=%v: n=%d not minimal", eps, p.N)
+		}
+		if p.S0 < int64(2*p.N) {
+			t.Errorf("eps=%v: S0 < 2n", eps)
+		}
+	}
+}
+
+func TestSolvePanicsOutOfRange(t *testing.T) {
+	for _, eps := range []rational.Rat{rational.FromInt(0), rational.New(1, 2), rational.New(-1, 10)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Solve(%v) did not panic", eps)
+				}
+			}()
+			Solve(eps)
+		}()
+	}
+}
+
+func TestRiRecurrence(t *testing.T) {
+	// Equation (3.1): R_i / (r + R_i) = R_{i+1}.
+	p := Solve(rational.New(1, 5))
+	r := bigRat(p.R)
+	for i := 1; i <= p.N; i++ {
+		ri := p.Ri(i)
+		lhs := new(big.Rat).Quo(ri, new(big.Rat).Add(r, ri))
+		rhs := p.Ri(i + 1)
+		if lhs.Cmp(rhs) != 0 {
+			t.Errorf("recurrence fails at i=%d: %v vs %v", i, lhs, rhs)
+		}
+	}
+	// R_1 = 1 - r + ... wait: R_1 = (1-r)/(1-r) = 1.
+	if p.Ri(1).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("R_1 = %v, want 1", p.Ri(1))
+	}
+}
+
+func TestClaim37XBounds(t *testing.T) {
+	// Claim 3.7: 0 < X <= rS for every S >= S0.
+	for _, eps := range []rational.Rat{rational.New(1, 10), rational.New(1, 5), rational.New(3, 10)} {
+		p := Solve(eps)
+		for _, s := range []int64{p.S0, p.S0 + 1, 2 * p.S0, 10 * p.S0} {
+			x := p.X(s)
+			if x <= 0 {
+				t.Errorf("eps=%v S=%d: X=%d <= 0", eps, s, x)
+			}
+			if x > p.R.FloorMulInt(s)+1 {
+				t.Errorf("eps=%v S=%d: X=%d > rS=%d", eps, s, x, p.R.FloorMulInt(s))
+			}
+		}
+	}
+}
+
+func TestGrowthLowerBound(t *testing.T) {
+	// Lemma 3.6's guarantee S' >= S(1+ε) must hold from S0 upward.
+	for _, eps := range []rational.Rat{rational.New(1, 10), rational.New(1, 5), rational.New(1, 4)} {
+		p := Solve(eps)
+		for _, s := range []int64{p.S0, 2 * p.S0, 16 * p.S0} {
+			if !p.GrowthLowerBound(s) {
+				t.Errorf("eps=%v S=%d: S'=%d < S(1+eps)", eps, s, p.SPrime(s))
+			}
+		}
+	}
+}
+
+func TestTiMonotone(t *testing.T) {
+	// t_i = 2S/(r+R_i) grows with i (R_i decreases).
+	p := Solve(rational.New(1, 5))
+	s := 2 * p.S0
+	prev := int64(0)
+	for i := 1; i <= p.N; i++ {
+		ti := p.Ti(s, i)
+		if ti < prev {
+			t.Errorf("t_%d = %d < t_%d = %d", i, ti, i-1, prev)
+		}
+		if ti <= 0 || ti > 2*s {
+			t.Errorf("t_%d = %d out of (0, 2S]", i, ti)
+		}
+		prev = ti
+	}
+	// t_1 = 2S/(r+1); for r=0.7, ≈ 2S/1.7.
+	if got, want := p.Ti(1700, 1), int64(2000); got != want {
+		t.Errorf("t_1(1700) = %d, want %d", got, want)
+	}
+}
+
+func TestMinM(t *testing.T) {
+	p := Solve(rational.New(1, 5))
+	m := p.MinM(rational.FromInt(1))
+	// r³(1+ε)^M/4 > 1 with r=0.7, ε=0.2: 1.2^M > 11.66 → M = 14.
+	if m != 14 {
+		t.Errorf("MinM = %d, want 14", m)
+	}
+	// Verify minimality exactly.
+	r := bigRat(p.R)
+	r3 := new(big.Rat).Mul(r, new(big.Rat).Mul(r, r))
+	g := new(big.Rat).Add(big.NewRat(1, 1), bigRat(p.Eps))
+	acc := new(big.Rat).Quo(r3, big.NewRat(4, 1))
+	for i := 0; i < m-1; i++ {
+		acc.Mul(acc, g)
+	}
+	if acc.Cmp(big.NewRat(1, 1)) > 0 {
+		t.Error("M-1 already satisfies the bound; MinM not minimal")
+	}
+	acc.Mul(acc, g)
+	if acc.Cmp(big.NewRat(1, 1)) <= 0 {
+		t.Error("M does not satisfy the bound")
+	}
+}
+
+func TestMinMEmpiricalSmaller(t *testing.T) {
+	p := Solve(rational.New(1, 5))
+	me := p.MinMEmpirical(rational.FromInt(1))
+	if me >= p.MinM(rational.FromInt(1)) {
+		t.Errorf("empirical M = %d should beat paper M = %d", me, p.MinM(rational.FromInt(1)))
+	}
+	if me < 2 {
+		t.Errorf("empirical M = %d too small", me)
+	}
+}
+
+func TestPumpGrowthExceedsOnePlusEps(t *testing.T) {
+	for _, eps := range []rational.Rat{rational.New(1, 10), rational.New(1, 5), rational.New(3, 10)} {
+		p := Solve(eps)
+		g := p.PumpGrowth()
+		want := new(big.Rat).Add(big.NewRat(1, 1), bigRat(eps))
+		if g.Cmp(want) < 0 {
+			t.Errorf("eps=%v: pump growth %v < 1+eps", eps, g)
+		}
+	}
+}
+
+func TestAsymptotics(t *testing.T) {
+	// The appendix proves n = Θ(log 1/ε) and S0 = Θ((1/ε)·log(1/ε))
+	// as ε → 0⁺ (the constants drift for moderate ε, where r is far
+	// from 1/2). Check the Θ bounds with generous constants on a
+	// decreasing ε sweep, plus monotonicity of S0's order.
+	for _, eps := range []float64{0.1, 0.05, 0.02, 0.01, 0.005} {
+		p := Solve(rational.FromFloat(eps, 10000))
+		lo := mathLog2Inv(eps) - 1
+		hi := 2*mathLog2Inv(eps) + 6
+		if float64(p.N) < lo || float64(p.N) > hi {
+			t.Errorf("eps=%v: N=%d outside [%.1f, %.1f]", eps, p.N, lo, hi)
+		}
+		// S0 = Θ(n/ε): generous two-sided constants.
+		ratio := float64(p.S0) / (float64(p.N) / eps)
+		if ratio < 0.2 || ratio > 40 {
+			t.Errorf("eps=%v: S0=%d, S0/(n/ε)=%.2f outside [0.2,40]", eps, p.S0, ratio)
+		}
+	}
+}
+
+func mathLog2Inv(eps float64) float64 { return math.Log2(1 / eps) }
+
+func TestStringers(t *testing.T) {
+	p := Solve(rational.New(1, 5))
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

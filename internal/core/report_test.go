@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"aqt/internal/rational"
+)
+
+func TestReportStrings(t *testing.T) {
+	pr := PumpReport{K: 2, SIn: 100, SMeasured: 140, SPredicted: 139}
+	if !strings.Contains(pr.String(), "g2→g3") || !strings.Contains(pr.String(), "1.4000") {
+		t.Errorf("PumpReport.String = %q", pr.String())
+	}
+	if pr.GrowthFactor() != 1.4 {
+		t.Errorf("GrowthFactor = %v", pr.GrowthFactor())
+	}
+	if (PumpReport{}).GrowthFactor() != 0 {
+		t.Error("zero SIn should give growth 0")
+	}
+
+	br := BootstrapReport{K: 1, QIn: 200, S: 100, SMeasured: 130, SPredicted: 129}
+	if !strings.Contains(br.String(), "2S=200") {
+		t.Errorf("BootstrapReport.String = %q", br.String())
+	}
+	if br.GrowthFactor() != 1.3 {
+		t.Errorf("bootstrap growth = %v", br.GrowthFactor())
+	}
+	if (BootstrapReport{}).GrowthFactor() != 0 {
+		t.Error("zero S should give growth 0")
+	}
+
+	dr := DrainReport{SIn: 50, QEgress: 45, Elsewhere: 1}
+	if !strings.Contains(dr.String(), "egress queue 45") {
+		t.Errorf("DrainReport.String = %q", dr.String())
+	}
+	sr := StitchReport{SIn: 50, Fresh: 17, R3S: 17}
+	if !strings.Contains(sr.String(), "17 fresh") {
+		t.Errorf("StitchReport.String = %q", sr.String())
+	}
+	cr := CycleRecord{Cycle: 3, S1: 10, S4: 25}
+	if cr.Growth() != 2.5 || !strings.Contains(cr.String(), "cycle 3") {
+		t.Errorf("CycleRecord: %v %q", cr.Growth(), cr.String())
+	}
+	if (CycleRecord{}).Growth() != 0 {
+		t.Error("zero S1 growth should be 0")
+	}
+}
+
+func TestParamsForValues(t *testing.T) {
+	p := ParamsFor(rational.New(7, 10), 9)
+	// Must agree with Solve(1/5) which lands on the same (r, n).
+	q := Solve(rational.New(1, 5))
+	if p.N != q.N || p.S0 != q.S0 || !p.R.Eq(q.R) {
+		t.Errorf("ParamsFor disagrees with Solve: %v vs %v", p, q)
+	}
+	if !p.Eps.Eq(rational.New(1, 5)) {
+		t.Errorf("eps = %v", p.Eps)
+	}
+	// Shallow depths give tiny S0 but still >= 2n.
+	p2 := ParamsFor(rational.New(3, 4), 3)
+	if p2.S0 < 6 {
+		t.Errorf("S0 = %d < 2n", p2.S0)
+	}
+}
+
+func TestParamsForPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"r=0": func() { ParamsFor(rational.FromInt(0), 3) },
+		"r=1": func() { ParamsFor(rational.FromInt(1), 3) },
+		"n=0": func() { ParamsFor(rational.New(1, 2), 0) },
+		"r<0": func() { ParamsFor(rational.New(-1, 2), 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAsymptoticFormulas(t *testing.T) {
+	// AsymptoticN must be near the exact N for small eps.
+	for _, eps := range []float64{0.05, 0.02} {
+		approx := AsymptoticN(eps)
+		exact := Solve(rational.FromFloat(eps, 10000)).N
+		if approx < float64(exact)-3 || approx > float64(exact)+3 {
+			t.Errorf("eps=%v: AsymptoticN=%.1f vs exact %d", eps, approx, exact)
+		}
+	}
+	if AsymptoticS0(0.05) != 4*AsymptoticN(0.05)/0.05 {
+		t.Error("AsymptoticS0 formula wrong")
+	}
+}
+
+func TestRatFromBig(t *testing.T) {
+	r := ratFromBig(big.NewRat(3, 7))
+	if !r.Eq(rational.New(3, 7)) {
+		t.Errorf("ratFromBig = %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	huge := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 80), big.NewInt(1))
+	ratFromBig(huge)
+}
+
+func TestFloorCeilBigNegative(t *testing.T) {
+	if got := floorBig(big.NewRat(-7, 2)); got != -4 {
+		t.Errorf("floor(-3.5) = %d", got)
+	}
+	if got := ceilBig(big.NewRat(-7, 2)); got != -3 {
+		t.Errorf("ceil(-3.5) = %d", got)
+	}
+	if got := floorBig(big.NewRat(6, 2)); got != 3 {
+		t.Errorf("floor(3) = %d", got)
+	}
+}
+
+func TestMinMPanicsOnBadMargin(t *testing.T) {
+	p := Solve(rational.New(1, 5))
+	for _, f := range []func(){
+		func() { p.MinM(rational.FromInt(0)) },
+		func() { p.MinMEmpirical(rational.FromInt(-1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad margin did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPumpPhasePanics(t *testing.T) {
+	p := Solve(rational.New(1, 5))
+	c2 := chainForTest(p.N, 2)
+	for name, f := range map[string]func(){
+		"k=0": func() { PumpPhase(p, c2, 0, nil, nil) },
+		"k=M": func() { PumpPhase(p, c2, 2, nil, nil) },
+		"wrong n": func() {
+			PumpPhase(p, chainForTest(p.N+1, 2), 1, nil, nil)
+		},
+		"bootstrap k out of range": func() { BootstrapPhase(p, c2, 3, nil, nil) },
+		"bootstrap wrong n": func() {
+			BootstrapPhase(p, chainForTest(p.N+1, 2), 1, nil, nil)
+		},
+		"stitch without e0": func() { StitchPhase(p, c2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStitchPredictionValues(t *testing.T) {
+	// r = 0.7, S = 1000: floor(0.7*1000)=700, floor(0.7*700)=490,
+	// floor(0.7*490)=343.
+	if got := StitchPrediction(rational.New(7, 10), 1000); got != 343 {
+		t.Errorf("StitchPrediction = %d, want 343", got)
+	}
+}

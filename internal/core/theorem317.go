@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"aqt/internal/adversary"
+	"aqt/internal/gadget"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// CycleRecord traces one iteration of the Theorem 3.17 adversary.
+type CycleRecord struct {
+	Cycle int
+	// S1 is the ingress queue at cycle start (paper's S1).
+	S1 int64
+	// S2 is the invariant size after the bootstrap (Lemma 3.15).
+	S2 int64
+	// S3 is the egress queue after the chain pump and drain.
+	S3 int64
+	// S4 is the fresh ingress queue after the stitch (next cycle's S1).
+	S4 int64
+	// Steps is the number of simulator steps the cycle consumed.
+	Steps int64
+	// Pumps holds the per-gadget pump reports.
+	Pumps []PumpReport
+	// Bootstrap, Drain and Stitch hold the phase reports.
+	Bootstrap BootstrapReport
+	Drain     DrainReport
+	Stitch    StitchReport
+}
+
+// Growth returns S4/S1, the cycle's net blow-up factor; instability
+// requires it to exceed 1.
+func (c CycleRecord) Growth() float64 {
+	if c.S1 == 0 {
+		return 0
+	}
+	return float64(c.S4) / float64(c.S1)
+}
+
+// String summarizes the cycle.
+func (c CycleRecord) String() string {
+	return fmt.Sprintf("cycle %d: S1=%d S2=%d S3=%d S4=%d (×%.4f, %d steps)",
+		c.Cycle, c.S1, c.S2, c.S3, c.S4, c.Growth(), c.Steps)
+}
+
+// Instability drives the Theorem 3.17 construction: FIFO on the graph
+// G_ε (a daisy chain of M gadgets closed by the stitch edge e0), with
+// the iterative adversary
+//
+//	bootstrap (L3.15) → pump ×(M−1) (L3.6/L3.13) → drain → stitch (L3.16)
+//
+// whose queue S1 grows by a constant factor every cycle.
+type Instability struct {
+	P     Params
+	Chain *gadget.Chain
+	M     int
+
+	// Engine is the live engine (FIFO policy).
+	Engine *sim.Engine
+	// Rerouter validates the Lemma 3.3 extensions when non-nil.
+	Rerouter *adversary.Rerouter
+
+	// SStar is the initial ingress queue (> 2·S0).
+	SStar int64
+	// Cycles holds one record per completed cycle.
+	Cycles []CycleRecord
+
+	maxStepsPerCycle int64
+}
+
+// InstabilityOptions tunes NewInstability.
+type InstabilityOptions struct {
+	// MarginM scales the chain length: M = MinM(MarginM). The theorem
+	// needs r³(1+ε)^M/4 > 1; discretization losses make a margin > 1
+	// advisable. Zero means 4 (a ~4× per-cycle target).
+	MarginM rational.Rat
+	// SStar is the initial queue (paper: > 2·S0). Zero means 4·S0.
+	SStar int64
+	// Validate attaches a Rerouter (Lemma 3.3 checks) plus tags.
+	Validate bool
+	// ExtraM adds gadgets on top of MinM.
+	ExtraM int
+	// Observers are attached to the engine before seeding (validators
+	// must see the seeds).
+	Observers []sim.Observer
+	// Params overrides the Solve(eps) parameters (e.g. a ParamsFor
+	// point with an explicit depth). When set, eps is ignored.
+	Params *Params
+}
+
+// NewInstability builds the graph G_ε, the FIFO engine and the initial
+// configuration for the given ε.
+func NewInstability(eps rational.Rat, opt InstabilityOptions) *Instability {
+	var p Params
+	if opt.Params != nil {
+		p = *opt.Params
+	} else {
+		p = Solve(eps)
+	}
+	margin := opt.MarginM
+	if margin.IsZero() {
+		margin = rational.FromInt(2)
+	}
+	m := p.MinMEmpirical(margin) + opt.ExtraM
+	if m < 2 {
+		m = 2
+	}
+	chain := gadget.NewChain(p.N, m, true)
+	eng := sim.New(chain.G, policy.FIFO{}, nil)
+	ins := &Instability{P: p, Chain: chain, M: m, Engine: eng}
+	if opt.Validate {
+		ins.Rerouter = adversary.NewRerouter(p.R)
+		eng.AddObserver(ins.Rerouter)
+	}
+	for _, ob := range opt.Observers {
+		eng.AddObserver(ob)
+	}
+	sStar := opt.SStar
+	if sStar == 0 {
+		sStar = 4 * p.S0
+	}
+	if sStar <= 2*p.S0 {
+		panic(fmt.Sprintf("core: S* must exceed 2·S0 = %d", 2*p.S0))
+	}
+	ins.SStar = sStar
+	// Initial configuration: S* packets at the ingress of F(1), paths
+	// of length 1.
+	eng.SeedN(int(sStar), packet.Injection{
+		Route: []graph.EdgeID{chain.Ingress(1)},
+		Tag:   TagFresh,
+	})
+	// Generous per-cycle step cap: bootstrap+pumps+drain+stitch is
+	// O(S·(1+ε)^M / ε); 64 × S* × M covers every configuration used in
+	// tests and benches.
+	ins.maxStepsPerCycle = 64 * sStar * int64(m+2)
+	return ins
+}
+
+// RunCycle executes one full adversary cycle and appends its record.
+// It returns the record and reports whether the cycle completed within
+// the step cap.
+func (ins *Instability) RunCycle() (CycleRecord, bool) {
+	rec := CycleRecord{Cycle: len(ins.Cycles) + 1}
+	rec.S1 = int64(ins.Engine.QueueLen(ins.Chain.Ingress(1)))
+	start := ins.Engine.Now()
+
+	phases := make([]adversary.Phase, 0, ins.M+2)
+	rec.Pumps = make([]PumpReport, ins.M-1)
+	phases = append(phases, BootstrapPhase(ins.P, ins.Chain, 1, ins.Rerouter, &rec.Bootstrap))
+	for k := 1; k < ins.M; k++ {
+		phases = append(phases, PumpPhase(ins.P, ins.Chain, k, ins.Rerouter, &rec.Pumps[k-1]))
+	}
+	phases = append(phases, DrainPhase(ins.P, ins.Chain, &rec.Drain))
+	phases = append(phases, StitchPhase(ins.P, ins.Chain, &rec.Stitch))
+	seq := adversary.NewSequence(phases...)
+	ins.Engine.SetAdversary(seq)
+
+	ok := ins.Engine.RunUntil(func(*sim.Engine) bool { return seq.Finished() }, ins.maxStepsPerCycle)
+	ins.Engine.SetAdversary(nil)
+
+	rec.S2 = rec.Bootstrap.SMeasured
+	rec.S3 = rec.Drain.QEgress
+	rec.S4 = rec.Stitch.Fresh
+	rec.Steps = ins.Engine.Now() - start
+	ins.Cycles = append(ins.Cycles, rec)
+	return rec, ok
+}
+
+// RunCycles executes up to n cycles, stopping early if a cycle fails
+// to complete or stops growing. It returns the number of completed
+// cycles.
+func (ins *Instability) RunCycles(n int) int {
+	for i := 0; i < n; i++ {
+		rec, ok := ins.RunCycle()
+		if !ok || rec.S4 <= 0 {
+			return i
+		}
+	}
+	return n
+}
+
+// Unstable reports whether every completed cycle grew the queue
+// (S4 > S1), the executable content of Theorem 3.17.
+func (ins *Instability) Unstable() bool {
+	if len(ins.Cycles) == 0 {
+		return false
+	}
+	for _, c := range ins.Cycles {
+		if c.S4 <= c.S1 {
+			return false
+		}
+	}
+	return true
+}

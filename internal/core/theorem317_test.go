@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"aqt/internal/rational"
+)
+
+func TestTheorem317QueueGrowsEveryCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cycle instability run")
+	}
+	ins := NewInstability(testEps, InstabilityOptions{Validate: true})
+	t.Logf("params: %s, M=%d, S*=%d, graph: %d nodes %d edges",
+		ins.P, ins.M, ins.SStar, ins.Chain.G.NumNodes(), ins.Chain.G.NumEdges())
+
+	const cycles = 3
+	done := ins.RunCycles(cycles)
+	for _, rec := range ins.Cycles {
+		t.Logf("%s", rec)
+	}
+	if done != cycles {
+		t.Fatalf("completed %d/%d cycles", done, cycles)
+	}
+	if !ins.Unstable() {
+		t.Fatal("queue did not grow in some cycle")
+	}
+	// Growth must compound: the last S4 should exceed S* by the product
+	// of per-cycle factors (at least ~1.2× per cycle in practice).
+	last := ins.Cycles[len(ins.Cycles)-1]
+	if last.S4 <= ins.SStar {
+		t.Errorf("final S4 = %d did not exceed S* = %d", last.S4, ins.SStar)
+	}
+	ins.Engine.CheckConservation()
+}
+
+func TestInstabilityRequiresLargeSStar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("S* <= 2S0 did not panic")
+		}
+	}()
+	p := Solve(testEps)
+	NewInstability(testEps, InstabilityOptions{SStar: 2 * p.S0})
+}
+
+func TestInstabilityDefaultOptions(t *testing.T) {
+	ins := NewInstability(rational.New(1, 4), InstabilityOptions{})
+	if ins.SStar != 4*ins.P.S0 {
+		t.Errorf("default S* = %d, want %d", ins.SStar, 4*ins.P.S0)
+	}
+	if ins.M < 2 {
+		t.Errorf("M = %d", ins.M)
+	}
+	if ins.Rerouter != nil {
+		t.Error("rerouter should be nil without Validate")
+	}
+	if ins.Unstable() {
+		t.Error("Unstable must be false before any cycle")
+	}
+	if got := ins.Engine.QueueLen(ins.Chain.Ingress(1)); int64(got) != ins.SStar {
+		t.Errorf("seeded ingress queue = %d", got)
+	}
+}

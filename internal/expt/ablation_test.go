@@ -1,0 +1,10 @@
+package expt
+
+import "testing"
+
+func TestA1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation cycles")
+	}
+	runQuick(t, "A1")
+}

@@ -1,0 +1,133 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		OK:      true,
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", "w")
+	tab.AddNote("note %d", 7)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T0", "demo", "PASS", "2.5000", "xyz", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	var md strings.Builder
+	tab.OK = false
+	tab.Markdown(&md)
+	if !strings.Contains(md.String(), "FAIL") || !strings.Contains(md.String(), "| a | bb |") {
+		t.Errorf("markdown wrong:\n%s", md.String())
+	}
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	rs := All()
+	if len(rs) != 22 {
+		t.Fatalf("%d runners", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil {
+			t.Errorf("%s has no Run", r.ID)
+		}
+	}
+	if ByID("E7") == nil || ByID("E7").ID != "E7" {
+		t.Error("ByID failed")
+	}
+	if ByID("ZZ") != nil {
+		t.Error("ByID on unknown id should be nil")
+	}
+}
+
+// Each experiment runs green in quick mode. The heavyweight ones are
+// exercised individually below so a single failure is attributable.
+
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	r := ByID(id)
+	if r == nil {
+		t.Fatalf("no runner %s", id)
+	}
+	tab := r.Run(true)
+	var sb strings.Builder
+	tab.Render(&sb)
+	t.Logf("\n%s", sb.String())
+	if !tab.OK {
+		t.Errorf("%s failed", id)
+	}
+	return tab
+}
+
+func TestE2Quick(t *testing.T)  { runQuick(t, "E2") }
+func TestE3Quick(t *testing.T)  { runQuick(t, "E3") }
+func TestE4Quick(t *testing.T)  { runQuick(t, "E4") }
+func TestE6Quick(t *testing.T)  { runQuick(t, "E6") }
+func TestE7Quick(t *testing.T)  { runQuick(t, "E7") }
+func TestE8Quick(t *testing.T)  { runQuick(t, "E8") }
+func TestE9Quick(t *testing.T)  { runQuick(t, "E9") }
+func TestE10Quick(t *testing.T) { runQuick(t, "E10") }
+func TestE11Quick(t *testing.T) { runQuick(t, "E11") }
+func TestF1Quick(t *testing.T)  { runQuick(t, "F1") }
+func TestF2Quick(t *testing.T)  { runQuick(t, "F2") }
+func TestB1Quick(t *testing.T)  { runQuick(t, "B1") }
+func TestB2Quick(t *testing.T)  { runQuick(t, "B2") }
+func TestB4Quick(t *testing.T)  { runQuick(t, "B4") }
+func TestE13Quick(t *testing.T) { runQuick(t, "E13") }
+func TestU1Quick(t *testing.T)  { runQuick(t, "U1") }
+func TestH1Quick(t *testing.T)  { runQuick(t, "H1") }
+
+func TestE5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain pump")
+	}
+	runQuick(t, "E5")
+}
+
+func TestE1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full instability cycles")
+	}
+	runQuick(t, "E1")
+}
+
+func TestE12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cycle record+replay")
+	}
+	runQuick(t, "E12")
+}
+
+func TestB3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy zoo sweep")
+	}
+	runQuick(t, "B3")
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{ID: "T0", Columns: []string{"a", "b"}, OK: true}
+	tab.AddRow(1, "x,y") // comma must be quoted
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Result couples a finished experiment with its runtime.
+type Result struct {
+	Runner  Runner
+	Table   *Table
+	Elapsed time.Duration
+	// Panic holds a recovered panic message, if the runner crashed.
+	Panic string
+}
+
+// RunAll executes the given runners across a worker pool and returns
+// the results in registry order. workers <= 0 means GOMAXPROCS.
+// Every experiment is independent (each builds its own graphs and
+// engines), so the fan-out is embarrassingly parallel; a crashed
+// runner is reported in its Result rather than taking the pool down.
+func RunAll(runners []Runner, q Quick, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	type job struct {
+		idx int
+		r   Runner
+	}
+	jobs := make(chan job)
+	results := make([]Result, len(runners))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j.idx] = runOne(j.r, q)
+			}
+		}()
+	}
+	for i, r := range runners {
+		jobs <- job{i, r}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func runOne(r Runner, q Quick) (res Result) {
+	res.Runner = r
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			res.Panic = fmt.Sprint(p)
+			res.Table = &Table{ID: r.ID, Title: r.Name, OK: false}
+			res.Table.AddNote("runner panicked: %v", p)
+		}
+	}()
+	res.Table = r.Run(q)
+	return res
+}
+
+// Summary renders a one-line-per-experiment digest sorted by ID.
+func Summary(results []Result) string {
+	sorted := append([]Result{}, results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Runner.ID < sorted[j].Runner.ID })
+	out := ""
+	for _, r := range sorted {
+		status := "PASS"
+		if r.Table == nil || !r.Table.OK {
+			status = "FAIL"
+		}
+		out += fmt.Sprintf("%-4s %-45s %-5s %8.2fs\n",
+			r.Runner.ID, r.Runner.Name, status, r.Elapsed.Seconds())
+	}
+	return out
+}

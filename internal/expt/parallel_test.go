@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fakeRunner(id string, ok bool, sleep time.Duration) Runner {
+	return Runner{
+		ID:   id,
+		Name: "fake " + id,
+		Run: func(Quick) *Table {
+			time.Sleep(sleep)
+			return &Table{ID: id, Title: "fake", OK: ok}
+		},
+	}
+}
+
+func TestRunAllOrderAndVerdicts(t *testing.T) {
+	rs := []Runner{
+		fakeRunner("X1", true, 2*time.Millisecond),
+		fakeRunner("X2", false, 0),
+		fakeRunner("X3", true, time.Millisecond),
+	}
+	results := RunAll(rs, true, 3)
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Runner.ID != rs[i].ID {
+			t.Errorf("result %d is %s, want %s (registry order must be preserved)", i, r.Runner.ID, rs[i].ID)
+		}
+		if r.Panic != "" {
+			t.Errorf("%s panicked: %s", r.Runner.ID, r.Panic)
+		}
+	}
+	if results[1].Table.OK {
+		t.Error("X2 should fail")
+	}
+	sum := Summary(results)
+	if !strings.Contains(sum, "X2") || !strings.Contains(sum, "FAIL") {
+		t.Errorf("summary:\n%s", sum)
+	}
+}
+
+func TestRunAllRecoversPanics(t *testing.T) {
+	rs := []Runner{
+		fakeRunner("X1", true, 0),
+		{ID: "XP", Name: "panicker", Run: func(Quick) *Table { panic("boom") }},
+	}
+	results := RunAll(rs, true, 2)
+	if results[1].Panic != "boom" {
+		t.Errorf("panic not captured: %+v", results[1])
+	}
+	if results[1].Table == nil || results[1].Table.OK {
+		t.Error("panicked runner must yield a failing table")
+	}
+	if results[0].Table == nil || !results[0].Table.OK {
+		t.Error("healthy runner affected by sibling panic")
+	}
+}
+
+func TestRunAllSequentialAndOversized(t *testing.T) {
+	rs := []Runner{fakeRunner("X1", true, 0)}
+	if got := RunAll(rs, true, 1); len(got) != 1 || !got[0].Table.OK {
+		t.Error("sequential run failed")
+	}
+	if got := RunAll(rs, true, 64); len(got) != 1 {
+		t.Error("oversized pool failed")
+	}
+	if got := RunAll(rs, true, 0); len(got) != 1 {
+		t.Error("default pool failed")
+	}
+}
+
+func TestRunAllActuallyParallel(t *testing.T) {
+	// 4 runners sleeping 40ms each must finish well under 160ms with 4
+	// workers.
+	rs := []Runner{
+		fakeRunner("X1", true, 40*time.Millisecond),
+		fakeRunner("X2", true, 40*time.Millisecond),
+		fakeRunner("X3", true, 40*time.Millisecond),
+		fakeRunner("X4", true, 40*time.Millisecond),
+	}
+	start := time.Now()
+	RunAll(rs, true, 4)
+	if elapsed := time.Since(start); elapsed > 120*time.Millisecond {
+		t.Errorf("parallel run took %v; expected ~40ms", elapsed)
+	}
+}

@@ -1,0 +1,182 @@
+// Package expt implements the experiment harness: one runner per
+// table/figure row of DESIGN.md (the paper's theorems, lemmas, claims
+// and figures plus the literature baselines), each producing a
+// rendered table of paper-predicted versus simulator-measured values.
+// The cmd tools, the examples and the root benchmarks all drive these
+// runners; EXPERIMENTS.md records their output.
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string // experiment id, e.g. "E1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+
+	// OK aggregates the experiment's pass/fail verdict.
+	OK bool
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form note printed under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	status := "PASS"
+	if !t.OK {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "== %s: %s [%s]\n", t.ID, t.Title, status)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown writes the table as GitHub-flavoured markdown.
+func (t *Table) Markdown(w io.Writer) {
+	status := "PASS"
+	if !t.OK {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "### %s: %s — **%s**\n\n", t.ID, t.Title, status)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Quick controls experiment sizing: true trades statistical margin for
+// runtime (used by unit tests and -short benchmarks); false is the
+// full configuration recorded in EXPERIMENTS.md.
+type Quick bool
+
+// Runner is one experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(q Quick) *Table
+}
+
+// All returns every experiment runner in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Theorem 3.17 FIFO instability", E1Theorem317},
+		{"E2", "Lemma 3.6 gadget pump", E2Lemma36},
+		{"E3", "Lemma 3.15 bootstrap", E3Lemma315},
+		{"E4", "Lemma 3.16 stitch", E4Lemma316},
+		{"E5", "Lemma 3.13 chain pump", E5Lemma313},
+		{"E6", "Lemma 3.3 rerouting validation", E6Lemma33},
+		{"E7", "Theorem 4.1 greedy stability", E7Theorem41},
+		{"E8", "Theorem 4.3 time-priority stability", E8Theorem43},
+		{"E9", "Observation 4.4 initial configurations", E9Observation44},
+		{"E10", "Claims 3.7-3.12 pump internals", E10Claims},
+		{"E11", "Appendix asymptotics", E11Asymptotics},
+		{"E12", "Oblivious replay (Remark 1)", E12ObliviousReplay},
+		{"E13", "Pump growth as eps -> 0", E13NearHalf},
+		{"F1", "Figure 3.1 gadget structure", F1Figure31},
+		{"F2", "Figure 3.2 G_eps structure", F2Figure32},
+		{"B1", "Depth-limited instability thresholds", B1DepthThresholds},
+		{"B2", "NTG long-route starvation", B2NTGStarvation},
+		{"B3", "Policy zoo", B3PolicyZoo},
+		{"B4", "FIFO stable below 1/d", B4FIFOBelowOneOverD},
+		{"A1", "Ablation: growth vs chain length M", A1ChainLength},
+		{"U1", "Universal stability battery", U1UniversalStability},
+		{"H1", "Heterogeneous network defuses the pump", H1Heterogeneous},
+	}
+}
+
+// ByID returns the runner with the given ID, or nil.
+func ByID(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			c := r
+			return &c
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as CSV: a header row of column names, then
+// the data rows. Notes and the pass verdict are not included (they are
+// presentation, not data).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Line returns a directed path graph with n edges v0->v1->...->vn.
+// Edges are named "e1".."en". It panics if n < 1.
+func Line(n int) *Graph {
+	if n < 1 {
+		panic("graph: Line needs n >= 1")
+	}
+	g := New()
+	prev := g.AddNode("v0")
+	for i := 1; i <= n; i++ {
+		cur := g.AddNode(fmt.Sprintf("v%d", i))
+		g.AddEdge(prev, cur, fmt.Sprintf("e%d", i))
+		prev = cur
+	}
+	return g
+}
+
+// Ring returns a directed cycle with n edges v0->v1->...->v0.
+// Edges are named "e1".."en". It panics if n < 2 (self-loops are not
+// representable).
+func Ring(n int) *Graph {
+	if n < 2 {
+		panic("graph: Ring needs n >= 2")
+	}
+	g := New()
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(nodes[i], nodes[(i+1)%n], fmt.Sprintf("e%d", i+1))
+	}
+	return g
+}
+
+// Complete returns the complete directed graph on n nodes (an edge in
+// each direction between every pair). It panics if n < 2.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("graph: Complete needs n >= 2")
+	}
+	g := New()
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(nodes[i], nodes[j], "")
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns a directed rows x cols grid with rightward and downward
+// edges (a DAG). Nodes are named "r<i>c<j>". It panics unless both
+// dimensions are >= 1 and at least one is >= 2.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic("graph: Grid needs at least two nodes")
+	}
+	g := New()
+	ids := make([][]NodeID, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = make([]NodeID, cols)
+		for j := 0; j < cols; j++ {
+			ids[i][j] = g.AddNode(fmt.Sprintf("r%dc%d", i, j))
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				g.AddEdge(ids[i][j], ids[i][j+1], "")
+			}
+			if i+1 < rows {
+				g.AddEdge(ids[i][j], ids[i+1][j], "")
+			}
+		}
+	}
+	return g
+}
+
+// TwoParallelPaths returns a DAG with a source s, sink t, and two
+// disjoint directed paths of the given lengths between them. Edges on
+// the first path are named "p1_1".. and on the second "p2_1"...
+// It panics unless both lengths are >= 1.
+func TwoParallelPaths(len1, len2 int) *Graph {
+	if len1 < 1 || len2 < 1 {
+		panic("graph: TwoParallelPaths needs lengths >= 1")
+	}
+	g := New()
+	s := g.AddNode("s")
+	t := g.AddNode("t")
+	addPath := func(prefix string, n int) {
+		prev := s
+		for i := 1; i <= n; i++ {
+			var cur NodeID
+			if i == n {
+				cur = t
+			} else {
+				cur = g.AddNode(fmt.Sprintf("%s_v%d", prefix, i))
+			}
+			g.AddEdge(prev, cur, fmt.Sprintf("%s_%d", prefix, i))
+			prev = cur
+		}
+	}
+	addPath("p1", len1)
+	addPath("p2", len2)
+	return g
+}
+
+// RandomDAG returns a random directed acyclic graph: n nodes with a
+// fixed topological order and m distinct forward edges drawn uniformly
+// (seeded, deterministic). Every non-sink node keeps at least one
+// outgoing edge towards its successor so the graph stays connected
+// enough to route on. It panics unless n >= 2 and m >= n-1, or if m
+// exceeds the n(n-1)/2 forward pairs.
+func RandomDAG(n int, m int, seed int64) *Graph {
+	if n < 2 {
+		panic("graph: RandomDAG needs n >= 2")
+	}
+	maxM := n * (n - 1) / 2
+	if m < n-1 || m > maxM {
+		panic(fmt.Sprintf("graph: RandomDAG needs n-1 <= m <= %d", maxM))
+	}
+	g := New()
+	nodes := g.AddNodes(n)
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[[2]int]bool, m)
+	// Backbone: the topological chain, guaranteeing reachability.
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(nodes[i], nodes[i+1], "")
+		used[[2]int{i, i + 1}] = true
+	}
+	for g.NumEdges() < m {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-i-1)
+		key := [2]int{i, j}
+		if used[key] {
+			continue
+		}
+		used[key] = true
+		g.AddEdge(nodes[i], nodes[j], "")
+	}
+	return g
+}

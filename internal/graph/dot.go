@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT writes the graph in Graphviz DOT format. Named nodes and edges
+// keep their names; anonymous ones get positional labels. Edge IDs are
+// stable, so the output is deterministic.
+func (g *Graph) DOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		label := g.nodeNames[v]
+		if label == "" {
+			label = fmt.Sprintf("n%d", v)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, label)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.From, e.To, g.EdgeName(e.ID))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOTString returns the DOT rendering as a string.
+func (g *Graph) DOTString(title string) string {
+	var sb strings.Builder
+	if err := g.DOT(&sb, title); err != nil {
+		// strings.Builder never fails; keep the error path honest anyway.
+		panic(err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodes(t *testing.T) {
+	g := New()
+	ids := g.AddNodes(5)
+	if len(ids) != 5 || g.NumNodes() != 5 {
+		t.Fatalf("AddNodes: %v", ids)
+	}
+	for i, id := range ids {
+		if int(id) != i {
+			t.Errorf("id[%d] = %d", i, id)
+		}
+		if g.NodeName(id) != "" {
+			t.Error("anonymous node has a name")
+		}
+	}
+}
+
+func TestEdgesSlice(t *testing.T) {
+	g := Line(3)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("Edges = %d", len(es))
+	}
+	for i, e := range es {
+		if int(e.ID) != i {
+			t.Errorf("edge %d has ID %d", i, e.ID)
+		}
+	}
+}
+
+func TestRandomDAG(t *testing.T) {
+	g := RandomDAG(10, 20, 7)
+	if g.NumNodes() != 10 || g.NumEdges() != 20 {
+		t.Fatalf("shape: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.HasCycle() {
+		t.Error("RandomDAG produced a cycle")
+	}
+	// Deterministic for a fixed seed.
+	h := RandomDAG(10, 20, 7)
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(EdgeID(i)) != h.Edge(EdgeID(i)) {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	// The backbone makes the last node reachable from the first.
+	if !g.Reachable(0, NodeID(9)) {
+		t.Error("sink unreachable")
+	}
+}
+
+func TestRandomDAGPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n<2":   func() { RandomDAG(1, 1, 1) },
+		"m<n-1": func() { RandomDAG(5, 3, 1) },
+		"m>max": func() { RandomDAG(4, 7, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickRandomDAGAcyclic(t *testing.T) {
+	f := func(nRaw, mRaw uint8, seed int64) bool {
+		n := int(nRaw%12) + 2
+		maxM := n * (n - 1) / 2
+		span := maxM - (n - 1)
+		m := n - 1
+		if span > 0 {
+			m += int(mRaw) % (span + 1)
+		}
+		g := RandomDAG(n, m, seed)
+		return !g.HasCycle() && g.NumEdges() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeEdgeBasics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("")
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	e1 := g.AddEdge(a, b, "ab")
+	e2 := g.AddEdge(b, c, "")
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Edge(e1).From != a || g.Edge(e1).To != b {
+		t.Error("edge endpoints wrong")
+	}
+	if g.EdgeByName("ab") != e1 {
+		t.Error("EdgeByName failed")
+	}
+	if g.NodeByName("b") != b {
+		t.Error("NodeByName failed")
+	}
+	if g.NodeByName("zzz") != NoNode {
+		t.Error("missing node should be NoNode")
+	}
+	if g.EdgeByName("zzz") != NoEdge {
+		t.Error("missing edge should be NoEdge")
+	}
+	if g.EdgeName(e2) != "e1" {
+		t.Errorf("anonymous edge name = %q", g.EdgeName(e2))
+	}
+	if g.EdgeName(NoEdge) != "<none>" {
+		t.Errorf("NoEdge name = %q", g.EdgeName(NoEdge))
+	}
+}
+
+func TestZeroValueGraphUsable(t *testing.T) {
+	var g Graph
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, "ab")
+	if g.NumEdges() != 1 {
+		t.Fatal("zero value graph broken")
+	}
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate node name did not panic")
+			}
+		}()
+		g.AddNode("a")
+	}()
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(b, c, "x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate edge name did not panic")
+			}
+		}()
+		g.AddEdge(c, b, "x")
+	}()
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop did not panic")
+		}
+	}()
+	g.AddEdge(a, a, "")
+}
+
+func TestInvalidEndpointPanics(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid endpoint did not panic")
+		}
+	}()
+	g.AddEdge(a, NodeID(99), "")
+}
+
+func TestMustEdge(t *testing.T) {
+	g := Line(3)
+	if g.MustEdge("e2") == NoEdge {
+		t.Error("MustEdge failed on present edge")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEdge on missing edge did not panic")
+		}
+	}()
+	g.MustEdge("nope")
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	e1 := g.AddEdge(a, b, "x")
+	e2 := g.AddEdge(a, b, "y")
+	if e1 == e2 {
+		t.Error("parallel edges share an ID")
+	}
+	if g.OutDegree(a) != 2 || g.InDegree(b) != 2 {
+		t.Error("degrees wrong with parallel edges")
+	}
+}
+
+func TestDegreesAndMaxInDegree(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddEdge(a, c, "")
+	g.AddEdge(b, c, "")
+	g.AddEdge(c, a, "")
+	if g.OutDegree(c) != 1 || g.InDegree(c) != 2 {
+		t.Error("degree accounting wrong")
+	}
+	if g.MaxInDegree() != 2 {
+		t.Errorf("MaxInDegree = %d, want 2", g.MaxInDegree())
+	}
+}
+
+func TestIsPathAndSimplePath(t *testing.T) {
+	g := Line(4) // e1..e4
+	route := []EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")}
+	if !g.IsPath(route) || !g.IsSimplePath(route) {
+		t.Error("line prefix should be a simple path")
+	}
+	if g.IsPath(nil) {
+		t.Error("empty route is not a path")
+	}
+	bad := []EdgeID{g.MustEdge("e1"), g.MustEdge("e3")}
+	if g.IsPath(bad) {
+		t.Error("gap route should not be a path")
+	}
+	if g.IsPath([]EdgeID{EdgeID(99)}) {
+		t.Error("invalid edge id should not be a path")
+	}
+}
+
+func TestSimplePathRejectsCycle(t *testing.T) {
+	g := Ring(3)
+	full := []EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")}
+	if !g.IsPath(full) {
+		t.Error("ring walk is a path")
+	}
+	if g.IsSimplePath(full) {
+		t.Error("full ring revisits start node; not simple")
+	}
+	part := full[:2]
+	if !g.IsSimplePath(part) {
+		t.Error("partial ring is simple")
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	if Line(5).HasCycle() {
+		t.Error("line has no cycle")
+	}
+	if !Ring(4).HasCycle() {
+		t.Error("ring has a cycle")
+	}
+	if Grid(3, 3).HasCycle() {
+		t.Error("grid DAG has no cycle")
+	}
+	if TwoParallelPaths(3, 5).HasCycle() {
+		t.Error("parallel paths DAG has no cycle")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := Line(3)
+	v0, v3 := g.NodeByName("v0"), g.NodeByName("v3")
+	if !g.Reachable(v0, v3) {
+		t.Error("v3 reachable from v0")
+	}
+	if g.Reachable(v3, v0) {
+		t.Error("v0 not reachable from v3 in a line")
+	}
+	if !g.Reachable(v0, v0) {
+		t.Error("node reachable from itself")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := TwoParallelPaths(2, 5)
+	s, tt := g.NodeByName("s"), g.NodeByName("t")
+	p := g.ShortestPath(s, tt)
+	if len(p) != 2 {
+		t.Fatalf("shortest path length = %d, want 2", len(p))
+	}
+	if !g.IsSimplePath(p) {
+		t.Error("shortest path is not simple")
+	}
+	if g.Edge(p[0]).From != s || g.Edge(p[1]).To != tt {
+		t.Error("path endpoints wrong")
+	}
+	if got := g.ShortestPath(tt, s); got != nil {
+		t.Error("no reverse path in DAG")
+	}
+	if got := g.ShortestPath(s, s); len(got) != 0 || got == nil {
+		t.Error("self path should be empty non-nil")
+	}
+}
+
+func TestShortestPathOnGrid(t *testing.T) {
+	g := Grid(3, 4)
+	from := g.NodeByName("r0c0")
+	to := g.NodeByName("r2c3")
+	p := g.ShortestPath(from, to)
+	if len(p) != 5 {
+		t.Fatalf("grid shortest path = %d hops, want 5", len(p))
+	}
+	if !g.IsSimplePath(p) {
+		t.Error("grid path not simple")
+	}
+}
+
+func TestBuildersShapes(t *testing.T) {
+	if g := Line(7); g.NumNodes() != 8 || g.NumEdges() != 7 {
+		t.Error("Line shape wrong")
+	}
+	if g := Ring(5); g.NumNodes() != 5 || g.NumEdges() != 5 {
+		t.Error("Ring shape wrong")
+	}
+	if g := Complete(4); g.NumNodes() != 4 || g.NumEdges() != 12 {
+		t.Error("Complete shape wrong")
+	}
+	if g := Grid(2, 3); g.NumNodes() != 6 || g.NumEdges() != 7 {
+		t.Errorf("Grid shape wrong: %d nodes %d edges", Grid(2, 3).NumNodes(), Grid(2, 3).NumEdges())
+	}
+	if g := TwoParallelPaths(3, 4); g.NumNodes() != 2+2+3 || g.NumEdges() != 7 {
+		t.Error("TwoParallelPaths shape wrong")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Line(0)":   func() { Line(0) },
+		"Ring(1)":   func() { Ring(1) },
+		"Complete1": func() { Complete(1) },
+		"Grid(0,5)": func() { Grid(0, 5) },
+		"Grid(1,1)": func() { Grid(1, 1) },
+		"TPP(0,1)":  func() { TwoParallelPaths(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Line(2)
+	dot := g.DOTString("line")
+	for _, want := range []string{"digraph \"line\"", "e1", "e2", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if dot != g.DOTString("line") {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	g := Line(3)
+	r := []EdgeID{g.MustEdge("e1"), g.MustEdge("e2")}
+	if got := g.RouteString(r); got != "e1 -> e2" {
+		t.Errorf("RouteString = %q", got)
+	}
+	if got := g.RouteString(nil); got != "<empty>" {
+		t.Errorf("RouteString(nil) = %q", got)
+	}
+}
+
+func TestNamedEdgesSorted(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddEdge(a, b, "zz")
+	g.AddEdge(b, c, "aa")
+	g.AddEdge(c, a, "")
+	got := g.NamedEdges()
+	if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+		t.Errorf("NamedEdges = %v", got)
+	}
+}
+
+// Property: in any Line(n), every contiguous edge window is a simple path.
+func TestQuickLineWindowsSimple(t *testing.T) {
+	f := func(n, lo, ln uint8) bool {
+		size := int(n%20) + 1
+		g := Line(size)
+		start := int(lo) % size
+		length := int(ln)%(size-start) + 1
+		route := make([]EdgeID, 0, length)
+		for i := 0; i < length; i++ {
+			route = append(route, EdgeID(start+i))
+		}
+		return g.IsSimplePath(route)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ShortestPath on a ring from v0 to vk has k hops.
+func TestQuickRingShortest(t *testing.T) {
+	f := func(n, k uint8) bool {
+		size := int(n%20) + 2
+		g := Ring(size)
+		target := int(k) % size
+		p := g.ShortestPath(0, NodeID(target))
+		return len(p) == target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

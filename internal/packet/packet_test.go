@@ -1,0 +1,70 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"aqt/internal/graph"
+)
+
+func lineRoute(g *graph.Graph, names ...string) []graph.EdgeID {
+	r := make([]graph.EdgeID, len(names))
+	for i, n := range names {
+		r[i] = g.MustEdge(n)
+	}
+	return r
+}
+
+func TestPacketAccessors(t *testing.T) {
+	g := graph.Line(4)
+	p := &Packet{
+		ID:         7,
+		Route:      lineRoute(g, "e1", "e2", "e3", "e4"),
+		Pos:        1,
+		InjectedAt: 10,
+		ArrivedAt:  12,
+	}
+	if p.CurrentEdge() != g.MustEdge("e2") {
+		t.Error("CurrentEdge wrong")
+	}
+	if p.RemainingHops() != 3 {
+		t.Errorf("RemainingHops = %d", p.RemainingHops())
+	}
+	rem := p.RemainingRoute()
+	if len(rem) != 3 || rem[0] != g.MustEdge("e2") {
+		t.Error("RemainingRoute wrong")
+	}
+	if p.HopsFromSource() != 1 {
+		t.Error("HopsFromSource wrong")
+	}
+	if p.Source(g) != g.NodeByName("v0") {
+		t.Error("Source wrong")
+	}
+	if p.Destination(g) != g.NodeByName("v4") {
+		t.Error("Destination wrong")
+	}
+	if !strings.Contains(p.String(), "pkt#7") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestRemainingRouteAliases(t *testing.T) {
+	g := graph.Line(3)
+	p := &Packet{Route: lineRoute(g, "e1", "e2", "e3"), Pos: 0}
+	rem := p.RemainingRoute()
+	if &rem[0] != &p.Route[0] {
+		t.Error("RemainingRoute should alias Route")
+	}
+}
+
+func TestInjectionHelpers(t *testing.T) {
+	g := graph.Line(2)
+	inj := Inj(g.MustEdge("e1"), g.MustEdge("e2"))
+	if len(inj.Route) != 2 || inj.Tag != "" {
+		t.Error("Inj wrong")
+	}
+	ti := TaggedInj("old", g.MustEdge("e1"))
+	if ti.Tag != "old" || len(ti.Route) != 1 {
+		t.Error("TaggedInj wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package policy
+
+import "aqt/internal/packet"
+
+// Keyed marks a policy whose selection rule is "the packet minimizing
+// (SelectionKey, EnqueueSeq)". The engine exploits this with a
+// per-buffer heap: selection drops from a full O(n) scan per step to
+// O(log n).
+//
+// The contract requires the key to be constant while the packet sits
+// in one buffer. All built-in comparison policies qualify: injection
+// times never change (LIS, SIS), and a packet's position — hence its
+// remaining-hop count and hops-from-source — only changes when it
+// moves between buffers (FTG, NTG, FFS, NFS). The one exception is a
+// Lemma 3.3 route extension, which changes RemainingHops in place; the
+// engine rebuilds the affected buffer's heap when that happens.
+type Keyed interface {
+	Policy
+	// SelectionKey returns the key minimized by this policy's
+	// selection rule, evaluated when p enters a buffer.
+	SelectionKey(p *packet.Packet) int64
+}
+
+// SelectionKey implements Keyed for LIS: oldest injection first.
+func (LIS) SelectionKey(p *packet.Packet) int64 { return p.InjectedAt }
+
+// SelectionKey implements Keyed for SIS: newest injection first.
+func (SIS) SelectionKey(p *packet.Packet) int64 { return -p.InjectedAt }
+
+// SelectionKey implements Keyed for FTG: most remaining hops first.
+func (FTG) SelectionKey(p *packet.Packet) int64 { return -int64(p.RemainingHops()) }
+
+// SelectionKey implements Keyed for NTG: fewest remaining hops first.
+func (NTG) SelectionKey(p *packet.Packet) int64 { return int64(p.RemainingHops()) }
+
+// SelectionKey implements Keyed for FFS: most hops from source first.
+func (FFS) SelectionKey(p *packet.Packet) int64 { return -int64(p.HopsFromSource()) }
+
+// SelectionKey implements Keyed for NFS: fewest hops from source first.
+func (NFS) SelectionKey(p *packet.Packet) int64 { return int64(p.HopsFromSource()) }
+
+// Compile-time interface checks.
+var (
+	_ Keyed = LIS{}
+	_ Keyed = SIS{}
+	_ Keyed = FTG{}
+	_ Keyed = NTG{}
+	_ Keyed = FFS{}
+	_ Keyed = NFS{}
+)

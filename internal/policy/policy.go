@@ -1,0 +1,262 @@
+// Package policy implements the queuing (contention-resolution)
+// policies studied in adversarial queuing theory.
+//
+// A policy answers one question: given the nonempty buffer of an edge
+// at the start of a time step, which packet crosses the edge? All
+// policies here are greedy by construction — the engine only consults
+// a policy when the buffer is nonempty, and exactly one packet is sent
+// (the model of Borodin et al. admits only greedy protocols).
+//
+// Each policy also carries the classification predicates the paper's
+// theorems are parameterized by:
+//
+//   - Historic (Definition 3.1): scheduling decisions are independent
+//     of the remaining routes beyond the next edge. Historic policies
+//     admit the on-line rerouting of Lemma 3.3.
+//   - Time-priority (Definition 4.2): a packet that arrived at a buffer
+//     at time t has priority over every packet injected after t. Such
+//     policies get the stronger 1/d stability bound of Theorem 4.3.
+//   - UniversallyStable: known from the literature (Andrews et al.,
+//     J. ACM 2001) to be stable on every network at every rate r < 1;
+//     recorded so experiments can cross-check the policy zoo.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"aqt/internal/buffer"
+	"aqt/internal/packet"
+)
+
+// Policy selects the packet to send from a nonempty buffer.
+type Policy interface {
+	// Name returns the canonical (upper-case) policy name.
+	Name() string
+
+	// Select returns the index within q of the packet to cross the
+	// edge this step. q holds the buffer contents in enqueue order
+	// (index 0 arrived first); it is nonempty and must not be
+	// modified. now is the current time step.
+	Select(q *buffer.Buffer, now int64) int
+
+	// Traits returns the policy's classification.
+	Traits() Traits
+}
+
+// Traits classify a policy for the paper's theorems.
+type Traits struct {
+	// Historic is true when decisions do not depend on route suffixes
+	// beyond each packet's next edge (Definition 3.1).
+	Historic bool
+	// TimePriority is true when arrivals at time t beat injections
+	// after t (Definition 4.2).
+	TimePriority bool
+	// UniversallyStable is true when the literature proves stability
+	// on every network for every rate r < 1.
+	UniversallyStable bool
+}
+
+// argBest returns the index of the best packet under the given strict
+// less-than comparison; ties are broken towards the lower EnqueueSeq,
+// making every policy deterministic.
+func argBest(q *buffer.Buffer, less func(a, b *packet.Packet) bool) int {
+	best := 0
+	for i := 1; i < q.Len(); i++ {
+		a, b := q.At(i), q.At(best)
+		switch {
+		case less(a, b):
+			best = i
+		case less(b, a):
+			// keep best
+		case a.EnqueueSeq < b.EnqueueSeq:
+			best = i
+		}
+	}
+	return best
+}
+
+// FIFO sends the packet that arrived at the buffer earliest
+// (first-in-first-out). Historic and time-priority; famously not
+// universally stable — this paper shows instability at every rate
+// above 1/2.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Traits implements Policy.
+func (FIFO) Traits() Traits { return Traits{Historic: true, TimePriority: true} }
+
+// Select implements Policy.
+func (FIFO) Select(q *buffer.Buffer, now int64) int {
+	// The engine maintains buffers in enqueue order, so FIFO is the
+	// front. Verified against explicit comparison in tests.
+	return 0
+}
+
+// LIFO sends the packet that arrived at the buffer latest
+// (last-in-first-out). Historic; unstable at arbitrarily low rates
+// (Borodin et al.).
+type LIFO struct{}
+
+// Name implements Policy.
+func (LIFO) Name() string { return "LIFO" }
+
+// Traits implements Policy.
+func (LIFO) Traits() Traits { return Traits{Historic: true} }
+
+// Select implements Policy.
+func (LIFO) Select(q *buffer.Buffer, now int64) int {
+	// The engine enqueues in arrival order, so the back of the buffer
+	// is the latest arrival with the highest EnqueueSeq (true stack
+	// order). Verified against explicit comparison in tests.
+	return q.Len() - 1
+}
+
+// LIS (longest-in-system) sends the packet injected earliest.
+// Historic, time-priority, universally stable.
+type LIS struct{}
+
+// Name implements Policy.
+func (LIS) Name() string { return "LIS" }
+
+// Traits implements Policy.
+func (LIS) Traits() Traits {
+	return Traits{Historic: true, TimePriority: true, UniversallyStable: true}
+}
+
+// Select implements Policy.
+func (LIS) Select(q *buffer.Buffer, now int64) int {
+	return argBest(q, func(a, b *packet.Packet) bool { return a.InjectedAt < b.InjectedAt })
+}
+
+// SIS (shortest-in-system, also called NIS, newest-in-system) sends
+// the packet injected latest. Historic, universally stable.
+type SIS struct{}
+
+// Name implements Policy.
+func (SIS) Name() string { return "SIS" }
+
+// Traits implements Policy.
+func (SIS) Traits() Traits { return Traits{Historic: true, UniversallyStable: true} }
+
+// Select implements Policy.
+func (SIS) Select(q *buffer.Buffer, now int64) int {
+	return argBest(q, func(a, b *packet.Packet) bool { return a.InjectedAt > b.InjectedAt })
+}
+
+// FTG (furthest-to-go) sends the packet with the most remaining hops.
+// Not historic (it inspects route suffixes); universally stable.
+type FTG struct{}
+
+// Name implements Policy.
+func (FTG) Name() string { return "FTG" }
+
+// Traits implements Policy.
+func (FTG) Traits() Traits { return Traits{UniversallyStable: true} }
+
+// Select implements Policy.
+func (FTG) Select(q *buffer.Buffer, now int64) int {
+	return argBest(q, func(a, b *packet.Packet) bool { return a.RemainingHops() > b.RemainingHops() })
+}
+
+// NTG (nearest-to-go) sends the packet with the fewest remaining hops.
+// Not historic; unstable at arbitrarily low rates (Borodin et al.),
+// using routes of length Θ(1/r) — the phenomenon section 5 of the
+// paper contrasts with its 1/(d+1) bound.
+type NTG struct{}
+
+// Name implements Policy.
+func (NTG) Name() string { return "NTG" }
+
+// Traits implements Policy.
+func (NTG) Traits() Traits { return Traits{} }
+
+// Select implements Policy.
+func (NTG) Select(q *buffer.Buffer, now int64) int {
+	return argBest(q, func(a, b *packet.Packet) bool { return a.RemainingHops() < b.RemainingHops() })
+}
+
+// FFS (furthest-from-source) sends the packet that has crossed the
+// most edges. Historic; not universally stable.
+type FFS struct{}
+
+// Name implements Policy.
+func (FFS) Name() string { return "FFS" }
+
+// Traits implements Policy.
+func (FFS) Traits() Traits { return Traits{Historic: true} }
+
+// Select implements Policy.
+func (FFS) Select(q *buffer.Buffer, now int64) int {
+	return argBest(q, func(a, b *packet.Packet) bool { return a.HopsFromSource() > b.HopsFromSource() })
+}
+
+// NFS (nearest-from-source, also called NTS, nearest-to-source) sends
+// the packet that has crossed the fewest edges. Historic; universally
+// stable (Andrews et al.).
+type NFS struct{}
+
+// Name implements Policy.
+func (NFS) Name() string { return "NFS" }
+
+// Traits implements Policy.
+func (NFS) Traits() Traits { return Traits{Historic: true, UniversallyStable: true} }
+
+// Select implements Policy.
+func (NFS) Select(q *buffer.Buffer, now int64) int {
+	return argBest(q, func(a, b *packet.Packet) bool { return a.HopsFromSource() < b.HopsFromSource() })
+}
+
+// Random sends a uniformly random packet, from a seeded deterministic
+// stream. Historic (it ignores routes entirely). Used as a fuzzing
+// policy in tests; no stability classification is claimed.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "RANDOM" }
+
+// Traits implements Policy.
+func (*Random) Traits() Traits { return Traits{Historic: true} }
+
+// Select implements Policy.
+func (r *Random) Select(q *buffer.Buffer, now int64) int {
+	return r.rng.Intn(q.Len())
+}
+
+// All returns one instance of every deterministic built-in policy, in
+// a stable order. Random is excluded (it needs a seed).
+func All() []Policy {
+	return []Policy{FIFO{}, LIFO{}, LIS{}, SIS{}, FTG{}, NTG{}, FFS{}, NFS{}}
+}
+
+// Names returns the registry's policy names, sorted.
+func Names() []string {
+	ps := All()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the deterministic policy with the given (case-exact)
+// name, or an error listing the valid names.
+func ByName(name string) (Policy, error) {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (valid: %v)", name, Names())
+}

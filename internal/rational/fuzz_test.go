@@ -1,0 +1,62 @@
+package rational
+
+import "testing"
+
+// FuzzArithmetic checks the field axioms the rate machinery depends on
+// for arbitrary inputs. Run with `go test -fuzz FuzzArithmetic` for a
+// real fuzzing session; plain `go test` exercises the seed corpus.
+func FuzzArithmetic(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(4))
+	f.Add(int64(-7), int64(3), int64(22), int64(10))
+	f.Add(int64(0), int64(1), int64(-1), int64(1))
+	f.Add(int64(1<<20), int64(3), int64(5), int64(1<<20))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd int64) {
+		// Keep operands small enough that intermediates fit int64.
+		an, bn = an%100000, bn%100000
+		ad, bd = ad%1000, bd%1000
+		if ad == 0 {
+			ad = 1
+		}
+		if bd == 0 {
+			bd = 1
+		}
+		a, b := New(an, ad), New(bn, bd)
+		if !a.Add(b).Sub(b).Eq(a) {
+			t.Fatalf("(%v+%v)-%v != %v", a, b, b, a)
+		}
+		if !a.Add(b).Eq(b.Add(a)) {
+			t.Fatal("addition not commutative")
+		}
+		if !b.IsZero() && !a.Mul(b).Div(b).Eq(a) {
+			t.Fatalf("(%v*%v)/%v != %v", a, b, b, a)
+		}
+		// floor <= value <= ceil, within 1 of each other.
+		if fl, cl := a.Floor(), a.Ceil(); fl > cl || cl-fl > 1 {
+			t.Fatalf("floor %d / ceil %d of %v", fl, cl, a)
+		}
+	})
+}
+
+// FuzzPacerCumulative checks the token-bucket identity: after t ticks
+// at rate r, exactly floor(r*t) events have been emitted.
+func FuzzPacerCumulative(f *testing.F) {
+	f.Add(int64(3), int64(5), uint(50))
+	f.Add(int64(1), int64(1), uint(10))
+	f.Add(int64(7), int64(2), uint(30))
+	f.Fuzz(func(t *testing.T, num, den int64, ticks uint) {
+		num = abs(num) % 100
+		den = abs(den)%100 + 1
+		if ticks > 3000 {
+			ticks = 3000
+		}
+		r := New(num, den)
+		p := NewPacer(r)
+		var total int64
+		for i := uint(0); i < ticks; i++ {
+			total += p.Tick()
+		}
+		if want := r.FloorMulInt(int64(ticks)); total != want {
+			t.Fatalf("rate %v after %d ticks: emitted %d, want %d", r, ticks, total, want)
+		}
+	})
+}

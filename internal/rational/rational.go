@@ -1,0 +1,259 @@
+// Package rational implements exact small rational numbers used for
+// adversary rate accounting.
+//
+// Adversarial queuing constructions are extremely sensitive to rounding:
+// an injection stream must emit exactly floor(r*t) packets in its first t
+// steps, and every validator must agree on that count bit for bit.
+// Floating point cannot deliver that over millions of steps, so all rates
+// in this repository are rationals with int64 numerator and denominator.
+//
+// Values are kept in lowest terms with a positive denominator. The zero
+// value is 0/1 and ready to use.
+package rational
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rat is a rational number num/den in lowest terms, den > 0.
+type Rat struct {
+	num int64
+	den int64
+}
+
+// New returns the rational num/den reduced to lowest terms.
+// It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rational: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd(abs(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rat{num, den}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// FromFloat returns a rational approximation of f with denominator at
+// most maxDen, computed with the Stern–Brocot (continued fraction)
+// method. It is used only at API boundaries where a caller supplies a
+// float rate such as 0.6; all internal arithmetic stays exact.
+func FromFloat(f float64, maxDen int64) Rat {
+	if maxDen < 1 {
+		maxDen = 1
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("rational: cannot convert %v", f))
+	}
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	// Continued fraction expansion.
+	var (
+		h0, h1 int64 = 0, 1 // numerators
+		k0, k1 int64 = 1, 0 // denominators
+		x            = f
+	)
+	for i := 0; i < 64; i++ {
+		a := int64(math.Floor(x))
+		h2 := a*h1 + h0
+		k2 := a*k1 + k0
+		if k2 > maxDen || h2 < 0 || k2 < 0 {
+			break
+		}
+		h0, h1 = h1, h2
+		k0, k1 = k1, k2
+		frac := x - float64(a)
+		if frac < 1e-12 {
+			break
+		}
+		x = 1 / frac
+	}
+	if k1 == 0 {
+		return FromInt(0)
+	}
+	if neg {
+		h1 = -h1
+	}
+	return New(h1, k1)
+}
+
+// Num returns the numerator (sign carrier).
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the denominator; it is always positive (1 for the zero value).
+func (r Rat) Den() int64 {
+	if r.den == 0 {
+		return 1
+	}
+	return r.den
+}
+
+// normalized returns r with a nonzero denominator, so that the zero
+// value Rat{} behaves as 0/1.
+func (r Rat) normalized() Rat {
+	if r.den == 0 {
+		return Rat{0, 1}
+	}
+	return r
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.num == 0 }
+
+// Sign returns -1, 0 or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	switch {
+	case r.num > 0:
+		return 1
+	case r.num < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Float returns the float64 value of r (for reporting only).
+func (r Rat) Float() float64 {
+	r = r.normalized()
+	return float64(r.num) / float64(r.den)
+}
+
+// String formats r as "num/den", or "num" when den == 1.
+func (r Rat) String() string {
+	r = r.normalized()
+	if r.den == 1 {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d/%d", r.num, r.den)
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	return New(r.num*s.den+s.num*r.den, r.den*s.den)
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	return New(r.num*s.den-s.num*r.den, r.den*s.den)
+}
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	r, s = r.normalized(), s.normalized()
+	// Cross-reduce first to keep intermediates small.
+	g1 := gcd(abs(r.num), s.den)
+	g2 := gcd(abs(s.num), r.den)
+	return New((r.num/g1)*(s.num/g2), (r.den/g2)*(s.den/g1))
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat {
+	s = s.normalized()
+	if s.num == 0 {
+		panic("rational: division by zero")
+	}
+	return r.Mul(New(s.den, s.num))
+}
+
+// MulInt returns r * n.
+func (r Rat) MulInt(n int64) Rat { return r.Mul(FromInt(n)) }
+
+// Inv returns 1/r. It panics if r == 0.
+func (r Rat) Inv() Rat { return FromInt(1).Div(r) }
+
+// Cmp compares r and s, returning -1, 0 or +1.
+func (r Rat) Cmp(s Rat) int {
+	d := r.Sub(s)
+	return d.Sign()
+}
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Eq reports whether r == s.
+func (r Rat) Eq(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Floor returns the largest integer <= r.
+func (r Rat) Floor() int64 {
+	r = r.normalized()
+	q := r.num / r.den
+	if r.num%r.den != 0 && r.num < 0 {
+		q--
+	}
+	return q
+}
+
+// Ceil returns the smallest integer >= r.
+func (r Rat) Ceil() int64 {
+	r = r.normalized()
+	q := r.num / r.den
+	if r.num%r.den != 0 && r.num > 0 {
+		q++
+	}
+	return q
+}
+
+// FloorMulInt returns floor(r * t) without overflow for moderate t.
+// It is the cumulative-count primitive used by token buckets:
+// a rate-r stream has emitted FloorMulInt(r, t) packets after t steps.
+func (r Rat) FloorMulInt(t int64) int64 {
+	r = r.normalized()
+	// floor(num*t/den); num*t may overflow for very large t, so split t.
+	hi, lo := t/r.den, t%r.den
+	return r.num*hi + floorDiv(r.num*lo, r.den)
+}
+
+// CeilMulInt returns ceil(r * t).
+func (r Rat) CeilMulInt(t int64) int64 {
+	r = r.normalized()
+	hi, lo := t/r.den, t%r.den
+	return r.num*hi + ceilDiv(r.num*lo, r.den)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

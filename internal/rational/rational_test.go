@@ -1,0 +1,363 @@
+package rational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReduces(t *testing.T) {
+	cases := []struct {
+		num, den, wantNum, wantDen int64
+	}{
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 7, 0, 1},
+		{6, 3, 2, 1},
+		{7, 7, 1, 1},
+		{10, 15, 2, 3},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantNum || r.Den() != c.wantDen {
+			t.Errorf("New(%d,%d) = %v, want %d/%d", c.num, c.den, r, c.wantNum, c.wantDen)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rat
+	if !r.IsZero() {
+		t.Error("zero value not zero")
+	}
+	if r.Den() != 1 {
+		t.Errorf("zero value Den = %d, want 1", r.Den())
+	}
+	if got := r.Add(New(1, 2)); !got.Eq(New(1, 2)) {
+		t.Errorf("0 + 1/2 = %v", got)
+	}
+	if got := r.FloorMulInt(100); got != 0 {
+		t.Errorf("0*100 floor = %d", got)
+	}
+	if r.String() != "0" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Eq(New(5, 6)) {
+		t.Errorf("1/2+1/3 = %v", got)
+	}
+	if got := half.Sub(third); !got.Eq(New(1, 6)) {
+		t.Errorf("1/2-1/3 = %v", got)
+	}
+	if got := half.Mul(third); !got.Eq(New(1, 6)) {
+		t.Errorf("1/2*1/3 = %v", got)
+	}
+	if got := half.Div(third); !got.Eq(New(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %v", got)
+	}
+	if got := half.Inv(); !got.Eq(FromInt(2)) {
+		t.Errorf("inv(1/2) = %v", got)
+	}
+	if got := half.MulInt(6); !got.Eq(FromInt(3)) {
+		t.Errorf("1/2*6 = %v", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	New(1, 2).Div(FromInt(0))
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r          Rat
+		floor, cil int64
+	}{
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{New(4, 2), 2, 2},
+		{New(-4, 2), -2, -2},
+		{New(0, 5), 0, 0},
+		{New(1, 3), 0, 1},
+		{New(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.cil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.cil)
+		}
+	}
+}
+
+func TestFloorCeilMulInt(t *testing.T) {
+	r := New(3, 5) // 0.6
+	for _, tc := range []struct{ t, floor, cil int64 }{
+		{0, 0, 0}, {1, 0, 1}, {2, 1, 2}, {3, 1, 2}, {4, 2, 3}, {5, 3, 3}, {10, 6, 6},
+	} {
+		if got := r.FloorMulInt(tc.t); got != tc.floor {
+			t.Errorf("floor(0.6*%d) = %d, want %d", tc.t, got, tc.floor)
+		}
+		if got := r.CeilMulInt(tc.t); got != tc.cil {
+			t.Errorf("ceil(0.6*%d) = %d, want %d", tc.t, got, tc.cil)
+		}
+	}
+}
+
+func TestFloorMulIntLargeT(t *testing.T) {
+	// Splitting by the denominator must avoid overflow for big t.
+	r := New(7, 10)
+	const T = int64(1) << 50
+	want := (T/10)*7 + (T%10)*7/10
+	if got := r.FloorMulInt(T); got != want {
+		t.Errorf("FloorMulInt big: got %d want %d", got, want)
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	vals := []Rat{New(-3, 2), New(-1, 3), FromInt(0), New(1, 4), New(1, 3), New(1, 2), FromInt(1), New(7, 2)}
+	for i := range vals {
+		for j := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := vals[i].Cmp(vals[j]); got != want {
+				t.Errorf("Cmp(%v,%v) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+	if !New(1, 3).Less(New(1, 2)) {
+		t.Error("1/3 < 1/2 failed")
+	}
+	if !New(1, 2).LessEq(New(1, 2)) {
+		t.Error("1/2 <= 1/2 failed")
+	}
+}
+
+func TestFromFloat(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Rat
+	}{
+		{0.5, New(1, 2)},
+		{0.6, New(3, 5)},
+		{0.75, New(3, 4)},
+		{1.0 / 3.0, New(1, 3)},
+		{0, FromInt(0)},
+		{2, FromInt(2)},
+		{-0.25, New(-1, 4)},
+	}
+	for _, c := range cases {
+		got := FromFloat(c.f, 1_000_000)
+		if !got.Eq(c.want) {
+			t.Errorf("FromFloat(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFromFloatApproximation(t *testing.T) {
+	for _, f := range []float64{0.851, math.Pi / 4, 0.123456} {
+		got := FromFloat(f, 1_000_000)
+		if math.Abs(got.Float()-f) > 1e-6 {
+			t.Errorf("FromFloat(%v) = %v (%.9f), too far", f, got, got.Float())
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(3, 5).String(); s != "3/5" {
+		t.Errorf("String = %q", s)
+	}
+	if s := FromInt(4).String(); s != "4" {
+		t.Errorf("String = %q", s)
+	}
+	if s := New(-3, 5).String(); s != "-3/5" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: Add/Sub round-trip.
+func TestQuickAddSub(t *testing.T) {
+	f := func(an, bn int32, ad, bd uint8) bool {
+		a := New(int64(an), int64(ad)+1)
+		b := New(int64(bn), int64(bd)+1)
+		return a.Add(b).Sub(b).Eq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul/Div round-trip for nonzero divisor.
+func TestQuickMulDiv(t *testing.T) {
+	f := func(an, bn int16, ad, bd uint8) bool {
+		if bn == 0 {
+			return true
+		}
+		a := New(int64(an), int64(ad)+1)
+		b := New(int64(bn), int64(bd)+1)
+		return a.Mul(b).Div(b).Eq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: floor(r*t) is monotone in t and within [r*t-1, r*t].
+func TestQuickFloorMulMonotone(t *testing.T) {
+	f := func(num uint16, den uint8, steps uint8) bool {
+		r := New(int64(num%1000), int64(den)+1)
+		prev := int64(0)
+		for i := int64(1); i <= int64(steps); i++ {
+			cur := r.FloorMulInt(i)
+			if cur < prev {
+				return false
+			}
+			exact := r.MulInt(i)
+			if FromInt(cur).Cmp(exact) > 0 {
+				return false
+			}
+			if exact.Sub(FromInt(cur)).Cmp(FromInt(1)) >= 0 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacerExactSchedule(t *testing.T) {
+	p := NewPacer(New(3, 5))
+	var total int64
+	for i := int64(1); i <= 100; i++ {
+		n := p.Tick()
+		if n < 0 || n > 1 {
+			t.Fatalf("tick %d emitted %d events (rate < 1 must emit 0 or 1)", i, n)
+		}
+		total += n
+		if want := New(3, 5).FloorMulInt(i); total != want {
+			t.Fatalf("after %d ticks emitted %d, want %d", i, total, want)
+		}
+	}
+	if p.Emitted() != 60 {
+		t.Errorf("Emitted = %d, want 60", p.Emitted())
+	}
+	if p.Ticks() != 100 {
+		t.Errorf("Ticks = %d, want 100", p.Ticks())
+	}
+}
+
+func TestPacerRateAboveOne(t *testing.T) {
+	p := NewPacer(New(5, 2))
+	var total int64
+	for i := 0; i < 8; i++ {
+		total += p.Tick()
+	}
+	if total != 20 {
+		t.Errorf("emitted %d, want 20", total)
+	}
+}
+
+func TestPacerReset(t *testing.T) {
+	p := NewPacer(New(1, 2))
+	p.Tick()
+	p.Tick()
+	p.Reset()
+	if p.Emitted() != 0 || p.Ticks() != 0 {
+		t.Error("reset did not clear state")
+	}
+	if n := p.Tick(); n != 0 {
+		t.Errorf("first tick after reset of rate 1/2 = %d, want 0", n)
+	}
+}
+
+func TestPacerNegativeRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate did not panic")
+		}
+	}()
+	NewPacer(New(-1, 2))
+}
+
+func TestCappedPacer(t *testing.T) {
+	p := NewCappedPacer(New(2, 3), 7)
+	var total int64
+	for i := 0; i < 50; i++ {
+		total += p.Tick()
+	}
+	if total != 7 {
+		t.Errorf("capped pacer emitted %d, want 7", total)
+	}
+	if !p.Done() {
+		t.Error("capped pacer not done")
+	}
+	if p.Remaining() != 0 {
+		t.Errorf("Remaining = %d", p.Remaining())
+	}
+}
+
+func TestCappedPacerExactPacing(t *testing.T) {
+	// Until the budget is hit the schedule must match the plain pacer.
+	p := NewCappedPacer(New(3, 5), 1000)
+	q := NewPacer(New(3, 5))
+	for i := 0; i < 200; i++ {
+		a, b := p.Tick(), q.Tick()
+		if a != b {
+			t.Fatalf("tick %d: capped %d vs plain %d", i, a, b)
+		}
+	}
+}
+
+func TestCappedPacerNegativeBudget(t *testing.T) {
+	p := NewCappedPacer(New(1, 2), -5)
+	if p.Tick() != 0 || !p.Done() {
+		t.Error("negative budget should behave as zero")
+	}
+}
+
+// Property: a capped pacer's lifetime total equals min(budget, floor(r*t)).
+func TestQuickCappedTotal(t *testing.T) {
+	f := func(num uint8, den uint8, budget uint8, ticks uint8) bool {
+		r := New(int64(num%8), int64(den%8)+1)
+		p := NewCappedPacer(r, int64(budget))
+		var total int64
+		for i := int64(0); i < int64(ticks); i++ {
+			total += p.Tick()
+		}
+		want := r.FloorMulInt(int64(ticks))
+		if want > int64(budget) {
+			want = int64(budget)
+		}
+		return total == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,508 @@
+// Package sim implements the discrete-time execution engine of the
+// adversarial queuing model.
+//
+// Semantics follow section 2 of Lotker, Patt-Shamir and Rosén (SICOMP
+// 2004) exactly. Time proceeds in global steps 1, 2, …; each step has
+// two substeps:
+//
+//  1. Send: from every nonempty buffer, the policy picks one packet,
+//     which crosses the buffer's edge.
+//  2. Receive + inject: crossing packets are absorbed at their
+//     destination or enqueued at the buffer of the next edge on their
+//     route; then the adversary's new packets are injected into the
+//     buffers of the first edges of their routes.
+//
+// Packets arriving at the same buffer in the same step are enqueued in
+// a documented deterministic order: first transit arrivals in
+// increasing upstream-edge-ID order, then injections in the order the
+// adversary emitted them. All built-in policies break their remaining
+// ties on this enqueue order, so executions are fully deterministic.
+//
+// Before the first step the engine may be seeded with an initial
+// configuration (packets present "at time 0"), as the constructions of
+// sections 3 and 4 of the paper require.
+//
+// Rerouting (Lemma 3.3): during a PreStep callback — i.e. at time t
+// before the send substep — the adversary may replace the suffix of a
+// packet's route beyond its current edge. The engine checks path
+// contiguity; model-level admissibility (new edges, shared edge,
+// historic policy) is checked by adversary.RerouteValidator.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"aqt/internal/buffer"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+)
+
+// Adversary injects packets and optionally reroutes them. Both methods
+// receive the engine for read access; they must mutate state only
+// through the documented engine methods (ExtendRoute,
+// ReplaceRouteSuffix).
+type Adversary interface {
+	// PreStep runs at the start of step t = e.Now(), before the send
+	// substep; it may reroute packets.
+	PreStep(e *Engine)
+	// Inject runs in the second substep of step t = e.Now() and
+	// returns the packets to inject at this step.
+	Inject(e *Engine) []packet.Injection
+}
+
+// NopAdversary injects nothing. Useful for draining experiments.
+type NopAdversary struct{}
+
+// PreStep implements Adversary.
+func (NopAdversary) PreStep(*Engine) {}
+
+// Inject implements Adversary.
+func (NopAdversary) Inject(*Engine) []packet.Injection { return nil }
+
+// InjectFunc adapts a function to the Adversary interface (no
+// rerouting).
+type InjectFunc func(e *Engine) []packet.Injection
+
+// PreStep implements Adversary.
+func (InjectFunc) PreStep(*Engine) {}
+
+// Inject implements Adversary.
+func (f InjectFunc) Inject(e *Engine) []packet.Injection { return f(e) }
+
+// Observer is notified after each completed step.
+type Observer interface {
+	OnStep(e *Engine)
+}
+
+// InjectionObserver is additionally notified of every injection
+// (including initial-configuration seeds, which arrive with t = 0).
+type InjectionObserver interface {
+	OnInject(t int64, p *packet.Packet)
+}
+
+// RerouteObserver is additionally notified of every route change.
+type RerouteObserver interface {
+	OnReroute(t int64, p *packet.Packet, oldRoute []graph.EdgeID)
+}
+
+// AbsorptionObserver is additionally notified when a packet reaches
+// its destination and leaves the network.
+type AbsorptionObserver interface {
+	OnAbsorb(t int64, p *packet.Packet)
+}
+
+// Config tunes engine checking. The zero value enables full checking.
+type Config struct {
+	// SkipRouteCheck disables validation that injected routes are
+	// simple directed paths. The model requires simplicity; disabling
+	// is for stress tests only.
+	SkipRouteCheck bool
+
+	// PolicyFor, when non-nil, assigns a scheduling policy per edge
+	// (heterogeneous networks in the sense of Koukopoulos et al.); the
+	// engine's main policy serves as the default for edges where
+	// PolicyFor returns nil. The keyed fast path is disabled in this
+	// mode.
+	PolicyFor func(e graph.EdgeID) policy.Policy
+}
+
+// Engine executes one network under one policy and one adversary.
+type Engine struct {
+	g   *graph.Graph
+	pol policy.Policy
+	adv Adversary
+	cfg Config
+
+	now     int64
+	buffers []buffer.Buffer
+	active  []graph.EdgeID // edge IDs that may have nonempty buffers, sorted
+	inAct   []bool         // whether an edge ID is in active
+
+	nextID  packet.ID
+	nextSeq int64
+
+	injected  int64
+	absorbed  int64
+	inFlight  []*packet.Packet // scratch for the current step's senders
+	observers []Observer
+	injObs    []InjectionObserver
+	rerObs    []RerouteObserver
+	absObs    []AbsorptionObserver
+
+	maxResidence int64 // max completed residence in one buffer
+	started      bool  // true once Step has run; seeds then refused
+
+	// Keyed-policy fast path (see keyed.go): non-nil when the policy
+	// implements policy.Keyed.
+	keyed     policy.Keyed
+	heaps     []keyHeap
+	heapDirty []bool
+
+	// polFor holds the per-edge policies of a heterogeneous network
+	// (nil in the homogeneous case).
+	polFor []policy.Policy
+}
+
+// New returns an engine over graph g using the given policy and
+// adversary (nil means NopAdversary) with default config.
+func New(g *graph.Graph, pol policy.Policy, adv Adversary) *Engine {
+	return NewWithConfig(g, pol, adv, Config{})
+}
+
+// NewWithConfig is New with an explicit Config.
+func NewWithConfig(g *graph.Graph, pol policy.Policy, adv Adversary, cfg Config) *Engine {
+	if g == nil || pol == nil {
+		panic("sim: nil graph or policy")
+	}
+	if adv == nil {
+		adv = NopAdversary{}
+	}
+	e := &Engine{
+		g:       g,
+		pol:     pol,
+		adv:     adv,
+		cfg:     cfg,
+		buffers: make([]buffer.Buffer, g.NumEdges()),
+		inAct:   make([]bool, g.NumEdges()),
+	}
+	if cfg.PolicyFor != nil {
+		e.polFor = make([]policy.Policy, g.NumEdges())
+		for eid := 0; eid < g.NumEdges(); eid++ {
+			if p := cfg.PolicyFor(graph.EdgeID(eid)); p != nil {
+				e.polFor[eid] = p
+			} else {
+				e.polFor[eid] = pol
+			}
+		}
+	} else if k, ok := pol.(policy.Keyed); ok {
+		e.keyed = k
+		e.heaps = make([]keyHeap, g.NumEdges())
+		e.heapDirty = make([]bool, g.NumEdges())
+	}
+	return e
+}
+
+// Graph returns the network.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Policy returns the scheduling policy.
+func (e *Engine) Policy() policy.Policy { return e.pol }
+
+// Adversary returns the adversary.
+func (e *Engine) Adversary() Adversary { return e.adv }
+
+// SetAdversary swaps the adversary. Sequenced constructions (the
+// Theorem 3.17 driver) use this between phases.
+func (e *Engine) SetAdversary(adv Adversary) {
+	if adv == nil {
+		adv = NopAdversary{}
+	}
+	e.adv = adv
+}
+
+// Now returns the index of the current (or last completed) step; 0
+// before any step has run.
+func (e *Engine) Now() int64 { return e.now }
+
+// AddObserver registers an observer; interfaces InjectionObserver and
+// RerouteObserver are detected automatically.
+func (e *Engine) AddObserver(ob Observer) {
+	e.observers = append(e.observers, ob)
+	if io, ok := ob.(InjectionObserver); ok {
+		e.injObs = append(e.injObs, io)
+	}
+	if ro, ok := ob.(RerouteObserver); ok {
+		e.rerObs = append(e.rerObs, ro)
+	}
+	if ao, ok := ob.(AbsorptionObserver); ok {
+		e.absObs = append(e.absObs, ao)
+	}
+}
+
+// Seed places a packet with the given route into the network as part
+// of the initial configuration (time 0). It panics if called after the
+// first step or if the route is invalid.
+func (e *Engine) Seed(inj packet.Injection) *packet.Packet {
+	if e.started {
+		panic("sim: Seed after execution started")
+	}
+	return e.admit(inj, 0)
+}
+
+// SeedN seeds n identical packets.
+func (e *Engine) SeedN(n int, inj packet.Injection) {
+	for i := 0; i < n; i++ {
+		e.Seed(inj)
+	}
+}
+
+// admit creates a packet for inj at time t and enqueues it.
+func (e *Engine) admit(inj packet.Injection, t int64) *packet.Packet {
+	if !e.cfg.SkipRouteCheck && !e.g.IsSimplePath(inj.Route) {
+		panic(fmt.Sprintf("sim: injection route is not a simple path: %s",
+			e.g.RouteString(inj.Route)))
+	}
+	route := make([]graph.EdgeID, len(inj.Route))
+	copy(route, inj.Route)
+	p := &packet.Packet{
+		ID:         e.nextID,
+		Route:      route,
+		Pos:        0,
+		InjectedAt: t,
+		Tag:        inj.Tag,
+		SourceName: inj.SourceName,
+	}
+	e.nextID++
+	e.injected++
+	e.enqueue(p, t)
+	for _, ob := range e.injObs {
+		ob.OnInject(t, p)
+	}
+	return p
+}
+
+// enqueue places p at the back of the buffer of its current edge.
+func (e *Engine) enqueue(p *packet.Packet, t int64) {
+	p.ArrivedAt = t
+	p.EnqueueSeq = e.nextSeq
+	e.nextSeq++
+	eid := p.CurrentEdge()
+	e.buffers[eid].PushBack(p)
+	if e.keyed != nil {
+		e.heaps[eid].push(keyEntry{key: e.keyed.SelectionKey(p), seq: p.EnqueueSeq})
+	}
+	if !e.inAct[eid] {
+		e.inAct[eid] = true
+		e.active = append(e.active, eid)
+	}
+}
+
+// Step executes one time step.
+func (e *Engine) Step() {
+	e.started = true
+	e.now++
+	e.adv.PreStep(e)
+
+	// Substep 1: send one packet from every nonempty buffer.
+	// Iterate in edge-ID order for determinism; compact the active
+	// list, dropping edges whose buffers have drained.
+	sort.Slice(e.active, func(i, j int) bool { return e.active[i] < e.active[j] })
+	e.inFlight = e.inFlight[:0]
+	keep := e.active[:0]
+	for _, eid := range e.active {
+		buf := &e.buffers[eid]
+		if buf.Len() == 0 {
+			e.inAct[eid] = false
+			continue
+		}
+		keep = append(keep, eid)
+		var p *packet.Packet
+		switch {
+		case e.keyed != nil:
+			if e.heapDirty[eid] {
+				e.rebuildHeap(int(eid))
+			}
+			top := e.heaps[eid].pop()
+			p = buf.RemoveAt(buf.IndexOfSeq(top.seq))
+		case e.polFor != nil:
+			p = buf.RemoveAt(e.polFor[eid].Select(buf, e.now))
+		default:
+			p = buf.RemoveAt(e.pol.Select(buf, e.now))
+		}
+		if res := e.now - p.ArrivedAt; res > e.maxResidence {
+			e.maxResidence = res
+		}
+		e.inFlight = append(e.inFlight, p)
+	}
+	e.active = keep
+
+	// Substep 2a: receive. inFlight is in upstream-edge-ID order, the
+	// documented arrival tie-break.
+	for _, p := range e.inFlight {
+		p.Pos++
+		if p.Pos == len(p.Route) {
+			e.absorbed++
+			for _, ob := range e.absObs {
+				ob.OnAbsorb(e.now, p)
+			}
+			continue
+		}
+		e.enqueue(p, e.now)
+	}
+
+	// Substep 2b: inject.
+	for _, inj := range e.adv.Inject(e) {
+		e.admit(inj, e.now)
+	}
+
+	for _, ob := range e.observers {
+		ob.OnStep(e)
+	}
+}
+
+// Run executes n steps.
+func (e *Engine) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil executes steps until pred returns true or maxSteps steps
+// have run; it reports whether pred fired.
+func (e *Engine) RunUntil(pred func(e *Engine) bool, maxSteps int64) bool {
+	for i := int64(0); i < maxSteps; i++ {
+		e.Step()
+		if pred(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtendRoute appends ext to p's route. Allowed only from PreStep (at
+// any time before p is absorbed); the extension must continue the
+// route contiguously and, unless route checking is disabled, keep it a
+// simple path. This is the Lemma 3.3 rerouting primitive specialized
+// to suffix extension.
+func (e *Engine) ExtendRoute(p *packet.Packet, ext []graph.EdgeID) {
+	if len(ext) == 0 {
+		return
+	}
+	e.ReplaceRouteSuffix(p, append(append([]graph.EdgeID{}, p.Route[p.Pos+1:]...), ext...))
+}
+
+// ReplaceRouteSuffix replaces the part of p's route strictly after its
+// current edge with newSuffix (which may be empty). In the notation of
+// Lemma 3.3 the route q_p e_p r_p becomes q_p e_p r'_p.
+func (e *Engine) ReplaceRouteSuffix(p *packet.Packet, newSuffix []graph.EdgeID) {
+	old := p.Route
+	route := make([]graph.EdgeID, 0, p.Pos+1+len(newSuffix))
+	route = append(route, old[:p.Pos+1]...)
+	route = append(route, newSuffix...)
+	if !e.cfg.SkipRouteCheck {
+		if !e.g.IsPath(route) {
+			panic(fmt.Sprintf("sim: reroute of %v breaks path contiguity: %s",
+				p, e.g.RouteString(route)))
+		}
+		if !e.g.IsSimplePath(route) {
+			panic(fmt.Sprintf("sim: reroute of %v is not simple: %s",
+				p, e.g.RouteString(route)))
+		}
+	}
+	p.Route = route
+	p.Reroutes++
+	if e.keyed != nil {
+		// The route change may have altered the packet's selection key
+		// (e.g. RemainingHops under FTG/NTG); rebuild the buffer's heap
+		// lazily before its next send.
+		e.heapDirty[p.CurrentEdge()] = true
+	}
+	for _, ob := range e.rerObs {
+		ob.OnReroute(e.now, p, old)
+	}
+}
+
+// QueueLen returns the number of packets buffered at edge eid.
+func (e *Engine) QueueLen(eid graph.EdgeID) int { return e.buffers[eid].Len() }
+
+// Queue returns the buffer of edge eid. Callers must treat it as
+// read-only.
+func (e *Engine) Queue(eid graph.EdgeID) *buffer.Buffer { return &e.buffers[eid] }
+
+// TotalQueued returns the number of packets currently in the network.
+func (e *Engine) TotalQueued() int64 { return e.injected - e.absorbed }
+
+// MaxQueueLen returns the largest current buffer occupancy and the
+// edge achieving it (ties to the lowest edge ID). Returns (NoEdge, 0)
+// on an empty network.
+func (e *Engine) MaxQueueLen() (graph.EdgeID, int) {
+	best, bestLen := graph.NoEdge, 0
+	for eid := 0; eid < e.g.NumEdges(); eid++ {
+		if l := e.buffers[eid].Len(); l > bestLen {
+			best, bestLen = graph.EdgeID(eid), l
+		}
+	}
+	return best, bestLen
+}
+
+// Injected returns the lifetime number of injected packets (including
+// initial-configuration seeds).
+func (e *Engine) Injected() int64 { return e.injected }
+
+// Absorbed returns the lifetime number of absorbed packets.
+func (e *Engine) Absorbed() int64 { return e.absorbed }
+
+// MaxResidence returns the largest number of steps any packet has
+// spent in a single buffer so far. With includeWaiting, packets still
+// sitting in buffers count their wait up to now — essential when a
+// construction starves packets forever.
+func (e *Engine) MaxResidence(includeWaiting bool) int64 {
+	max := e.maxResidence
+	if includeWaiting {
+		for eid := range e.buffers {
+			b := &e.buffers[eid]
+			b.Each(func(p *packet.Packet) bool {
+				if w := e.now - p.ArrivedAt; w > max {
+					max = w
+				}
+				return true
+			})
+		}
+	}
+	return max
+}
+
+// ForEachQueued calls fn for every packet currently buffered, in
+// (edge ID, enqueue order) order.
+func (e *Engine) ForEachQueued(fn func(eid graph.EdgeID, p *packet.Packet)) {
+	for eid := 0; eid < e.g.NumEdges(); eid++ {
+		e.buffers[eid].Each(func(p *packet.Packet) bool {
+			fn(graph.EdgeID(eid), p)
+			return true
+		})
+	}
+}
+
+// CheckConservation panics unless injected == absorbed + buffered.
+// Tests and long experiments call it periodically.
+func (e *Engine) CheckConservation() {
+	var buffered int64
+	for eid := range e.buffers {
+		buffered += int64(e.buffers[eid].Len())
+	}
+	if e.injected != e.absorbed+buffered {
+		panic(fmt.Sprintf("sim: conservation violated: injected %d != absorbed %d + buffered %d",
+			e.injected, e.absorbed, buffered))
+	}
+}
+
+// Snapshot summarizes the engine state for reports.
+type Snapshot struct {
+	Now         int64
+	Injected    int64
+	Absorbed    int64
+	TotalQueued int64
+	MaxQueueLen int
+	MaxQueueAt  graph.EdgeID
+}
+
+// Snap returns a snapshot of the current state.
+func (e *Engine) Snap() Snapshot {
+	eid, l := e.MaxQueueLen()
+	return Snapshot{
+		Now:         e.now,
+		Injected:    e.injected,
+		Absorbed:    e.absorbed,
+		TotalQueued: e.TotalQueued(),
+		MaxQueueLen: l,
+		MaxQueueAt:  eid,
+	}
+}
+
+// String implements fmt.Stringer for quick diagnostics.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("t=%d queued=%d (max %d at edge %d) injected=%d absorbed=%d",
+		s.Now, s.TotalQueued, s.MaxQueueLen, s.MaxQueueAt, s.Injected, s.Absorbed)
+}

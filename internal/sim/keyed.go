@@ -1,0 +1,85 @@
+package sim
+
+// Keyed-policy fast path: for policies whose rule is "minimize
+// (key, enqueueSeq)" (policy.Keyed), the engine maintains a per-edge
+// binary heap of (key, seq) pairs, replacing the O(n) buffer scan per
+// send with an O(log n) pop. The ring buffer stays the source of truth
+// (observers and invariant checkers keep seeing enqueue order); the
+// heap top's packet is located in the ring by binary search on its
+// sequence number.
+
+// keyEntry is one heap element.
+type keyEntry struct {
+	key int64
+	seq int64
+}
+
+// keyHeap is a hand-rolled min-heap over (key, seq); container/heap is
+// avoided to keep pushes allocation-free on the hot path.
+type keyHeap []keyEntry
+
+func (h keyHeap) less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *keyHeap) push(e keyEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *keyHeap) pop() keyEntry {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h keyHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// rebuildHeap regenerates the heap of edge eid from its buffer
+// contents (after a route change invalidated keys).
+func (e *Engine) rebuildHeap(eid int) {
+	h := e.heaps[eid][:0]
+	buf := &e.buffers[eid]
+	for i := 0; i < buf.Len(); i++ {
+		p := buf.At(i)
+		h = append(h, keyEntry{key: e.keyed.SelectionKey(p), seq: p.EnqueueSeq})
+	}
+	// Floyd heap construction.
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	e.heaps[eid] = h
+	e.heapDirty[eid] = false
+}

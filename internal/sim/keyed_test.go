@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqt/internal/buffer"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+)
+
+// slowWrap hides a policy's Keyed implementation so the engine takes
+// the generic Select path — the reference for equivalence tests.
+type slowWrap struct {
+	p policy.Policy
+}
+
+func (w slowWrap) Name() string                           { return w.p.Name() }
+func (w slowWrap) Traits() policy.Traits                  { return w.p.Traits() }
+func (w slowWrap) Select(q *buffer.Buffer, now int64) int { return w.p.Select(q, now) }
+
+// randomTraffic builds a deterministic mixed workload on a complete
+// graph: bursts of multi-hop packets plus a trickle of short ones.
+func randomTraffic(seed int64) Adversary {
+	return InjectFunc(func(e *Engine) []packet.Injection {
+		t := e.Now()
+		if t > 60 {
+			return nil
+		}
+		g := e.Graph()
+		var out []packet.Injection
+		// Deterministic pseudo-random-ish pattern from t and seed.
+		x := (t*2654435761 + seed) % int64(g.NumEdges())
+		if x < 0 {
+			x += int64(g.NumEdges())
+		}
+		eid := graph.EdgeID(x)
+		route := []graph.EdgeID{eid}
+		// Try to extend by one hop.
+		head := g.Edge(eid).To
+		for _, nxt := range g.Out(head) {
+			if g.Edge(nxt).To != g.Edge(eid).From {
+				route = append(route, nxt)
+				break
+			}
+		}
+		out = append(out, packet.Injection{Route: route})
+		if t%3 == 0 {
+			out = append(out, packet.Injection{Route: []graph.EdgeID{eid}})
+		}
+		return out
+	})
+}
+
+func TestKeyedFastPathMatchesSelectPath(t *testing.T) {
+	keyedPols := []policy.Policy{
+		policy.LIS{}, policy.SIS{}, policy.FTG{}, policy.NTG{}, policy.FFS{}, policy.NFS{},
+	}
+	for _, pol := range keyedPols {
+		for seed := int64(0); seed < 4; seed++ {
+			g := graph.Complete(5)
+			fast := New(g, pol, randomTraffic(seed))
+			slow := New(g, slowWrap{pol}, randomTraffic(seed))
+			if fast.keyed == nil {
+				t.Fatalf("%s did not take the fast path", pol.Name())
+			}
+			if slow.keyed != nil {
+				t.Fatal("wrapper leaked Keyed")
+			}
+			for i := 0; i < 100; i++ {
+				fast.Step()
+				slow.Step()
+				if fast.Absorbed() != slow.Absorbed() || fast.TotalQueued() != slow.TotalQueued() {
+					t.Fatalf("%s seed %d step %d: fast (abs %d, q %d) vs slow (abs %d, q %d)",
+						pol.Name(), seed, i+1, fast.Absorbed(), fast.TotalQueued(),
+						slow.Absorbed(), slow.TotalQueued())
+				}
+				for eid := 0; eid < g.NumEdges(); eid++ {
+					if fast.QueueLen(graph.EdgeID(eid)) != slow.QueueLen(graph.EdgeID(eid)) {
+						t.Fatalf("%s seed %d step %d: queue mismatch at edge %d",
+							pol.Name(), seed, i+1, eid)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKeyedHeapRebuildAfterReroute(t *testing.T) {
+	// Under NTG, extending a buffered packet's route changes its key;
+	// the heap must notice (lazily) or selection would be stale.
+	g := graph.Line(4)
+	e := New(g, policy.NTG{}, nil)
+	long := e.Seed(packet.InjNamed(g, "e1", "e2")) // 2 hops: loses to short
+	short := e.Seed(packet.InjNamed(g, "e1"))      // 1 hop: NTG favourite
+	_ = short
+	// Extend the short packet so it becomes the LONGEST (4 hops).
+	e.ExtendRoute(short, []graph.EdgeID{g.MustEdge("e2"), g.MustEdge("e3"), g.MustEdge("e4")})
+	e.Step()
+	// Now `long` (2 hops) is nearest-to-go and must have been sent:
+	// it sits at e2 while the extended packet waits at e1.
+	if e.Queue(g.MustEdge("e2")).Len() != 1 {
+		t.Fatal("no packet advanced to e2")
+	}
+	if got := e.Queue(g.MustEdge("e2")).Front(); got != long {
+		t.Errorf("stale heap: extended packet was sent instead of the now-shortest")
+	}
+	if e.Queue(g.MustEdge("e1")).Front() != short {
+		t.Error("extended packet should still wait at e1")
+	}
+}
+
+func TestKeyedConservationUnderChurn(t *testing.T) {
+	f := func(seed int64, polIdx uint8) bool {
+		pols := []policy.Policy{policy.LIS{}, policy.SIS{}, policy.FTG{}, policy.NTG{}}
+		pol := pols[int(polIdx)%len(pols)]
+		g := graph.Complete(4)
+		e := New(g, pol, randomTraffic(seed))
+		e.Run(120)
+		e.CheckConservation()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexOfSeqViaEngine(t *testing.T) {
+	g := graph.Line(1)
+	e := New(g, policy.FIFO{}, nil)
+	var pkts []*packet.Packet
+	for i := 0; i < 10; i++ {
+		pkts = append(pkts, e.Seed(packet.InjNamed(g, "e1")))
+	}
+	q := e.Queue(g.MustEdge("e1"))
+	for i, p := range pkts {
+		if got := q.IndexOfSeq(p.EnqueueSeq); got != i {
+			t.Errorf("IndexOfSeq(%d) = %d, want %d", p.EnqueueSeq, got, i)
+		}
+	}
+	if q.IndexOfSeq(-5) != -1 || q.IndexOfSeq(1<<40) != -1 {
+		t.Error("missing seq should give -1")
+	}
+}
+
+// BenchmarkKeyedVsScan measures the win on a single hot buffer.
+func BenchmarkKeyedVsScan(b *testing.B) {
+	mk := func(pol policy.Policy, n int) *Engine {
+		g := graph.Line(2)
+		e := New(g, pol, nil)
+		for i := 0; i < n; i++ {
+			e.Seed(packet.InjNamed(g, "e1", "e2"))
+		}
+		return e
+	}
+	for _, n := range []int{1 << 10, 1 << 14} {
+		b.Run("scan/LIS/"+itoa(n), func(b *testing.B) {
+			e := mk(slowWrap{policy.LIS{}}, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+				if e.TotalQueued() == 0 {
+					b.StopTimer()
+					e = mk(slowWrap{policy.LIS{}}, n)
+					b.StartTimer()
+				}
+			}
+		})
+		b.Run("heap/LIS/"+itoa(n), func(b *testing.B) {
+			e := mk(policy.LIS{}, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+				if e.TotalQueued() == 0 {
+					b.StopTimer()
+					e = mk(policy.LIS{}, n)
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 1<<10 {
+		return "1k"
+	}
+	return "16k"
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"aqt/internal/packet"
+)
+
+// LatencyObserver collects end-to-end latency statistics: for every
+// absorbed packet it records now − InjectedAt, via the engine's
+// absorption hook (O(1) per packet).
+type LatencyObserver struct {
+	lats []int64
+}
+
+// OnStep implements Observer.
+func (l *LatencyObserver) OnStep(*Engine) {}
+
+// OnAbsorb implements AbsorptionObserver.
+func (l *LatencyObserver) OnAbsorb(t int64, p *packet.Packet) {
+	l.lats = append(l.lats, t-p.InjectedAt)
+}
+
+// Count returns the number of recorded (absorbed) latencies.
+func (l *LatencyObserver) Count() int { return len(l.lats) }
+
+// Stats summarizes the recorded latencies.
+type LatencyStats struct {
+	Count          int
+	Min, Max, Mean float64
+	P50, P90, P99  int64
+}
+
+// Stats computes the summary (zero value when nothing was absorbed).
+func (l *LatencyObserver) Stats() LatencyStats {
+	if len(l.lats) == 0 {
+		return LatencyStats{}
+	}
+	s := append([]int64{}, l.lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	pct := func(p float64) int64 {
+		idx := int(p * float64(len(s)-1))
+		return s[idx]
+	}
+	return LatencyStats{
+		Count: len(s),
+		Min:   float64(s[0]),
+		Max:   float64(s[len(s)-1]),
+		Mean:  float64(sum) / float64(len(s)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+	}
+}
+
+// String renders the stats.
+func (s LatencyStats) String() string {
+	if s.Count == 0 {
+		return "latency: no absorbed packets"
+	}
+	return fmt.Sprintf("latency over %d packets: mean %.1f, p50 %d, p90 %d, p99 %d, max %.0f",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+)
+
+func TestLatencyObserverBasics(t *testing.T) {
+	g := graph.Line(3)
+	lo := &LatencyObserver{}
+	e := New(g, policy.FIFO{}, nil)
+	e.AddObserver(lo)
+	// Two packets over 3 hops, seeded at t=0: the first is absorbed at
+	// step 3 (latency 3), the second queues one step behind at every
+	// hop and is absorbed at step 4 (latency 4).
+	e.SeedN(2, packet.InjNamed(g, "e1", "e2", "e3"))
+	e.Run(6)
+	if lo.Count() != 2 {
+		t.Fatalf("recorded %d latencies", lo.Count())
+	}
+	st := lo.Stats()
+	if st.Min != 3 || st.Max != 4 || st.Mean != 3.5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.P50 != 3 && st.P50 != 4 {
+		t.Errorf("p50 = %d", st.P50)
+	}
+	if !strings.Contains(st.String(), "2 packets") {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestLatencyObserverEmpty(t *testing.T) {
+	lo := &LatencyObserver{}
+	st := lo.Stats()
+	if st.Count != 0 {
+		t.Error("empty stats should have Count 0")
+	}
+	if !strings.Contains(st.String(), "no absorbed") {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	g := graph.Line(1)
+	lo := &LatencyObserver{}
+	e := New(g, policy.FIFO{}, nil)
+	e.AddObserver(lo)
+	// 10 packets through one edge: latencies 1..10.
+	e.SeedN(10, packet.InjNamed(g, "e1"))
+	e.Run(12)
+	st := lo.Stats()
+	if st.Count != 10 || st.Min != 1 || st.Max != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50 != 5 {
+		t.Errorf("p50 = %d, want 5", st.P50)
+	}
+	if st.P90 != 9 {
+		t.Errorf("p90 = %d, want 9", st.P90)
+	}
+	if st.P99 != 9 && st.P99 != 10 {
+		t.Errorf("p99 = %d", st.P99)
+	}
+}
+
+func TestAbsorptionObserverHook(t *testing.T) {
+	g := graph.Line(2)
+	var seen []packet.ID
+	hook := absorbFunc(func(_ int64, p *packet.Packet) { seen = append(seen, p.ID) })
+	e := New(g, policy.FIFO{}, nil)
+	e.AddObserver(hook)
+	a := e.Seed(packet.InjNamed(g, "e1", "e2"))
+	b := e.Seed(packet.InjNamed(g, "e1"))
+	e.Run(4)
+	if len(seen) != 2 {
+		t.Fatalf("absorptions seen: %d", len(seen))
+	}
+	// b (single hop, queued second) is absorbed at step 2; a at step 3.
+	if seen[0] != b.ID || seen[1] != a.ID {
+		t.Errorf("absorption order = %v", seen)
+	}
+}
+
+// absorbFunc adapts a function to Observer + AbsorptionObserver.
+type absorbFunc func(t int64, p *packet.Packet)
+
+func (absorbFunc) OnStep(*Engine) {}
+
+func (f absorbFunc) OnAbsorb(t int64, p *packet.Packet) { f(t, p) }

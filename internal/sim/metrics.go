@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+)
+
+// Sample is one point of a recorded queue-size time series.
+type Sample struct {
+	T           int64
+	TotalQueued int64
+	MaxQueueLen int
+}
+
+// Recorder is an Observer that samples queue sizes every Stride steps
+// (Stride <= 1 means every step) and tracks lifetime peaks.
+type Recorder struct {
+	Stride int64
+
+	samples  []Sample
+	peakTot  int64
+	peakMax  int
+	peakEdge graph.EdgeID
+}
+
+// NewRecorder returns a recorder sampling every stride steps.
+func NewRecorder(stride int64) *Recorder {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Recorder{Stride: stride}
+}
+
+// OnStep implements Observer.
+func (r *Recorder) OnStep(e *Engine) {
+	tot := e.TotalQueued()
+	if tot > r.peakTot {
+		r.peakTot = tot
+	}
+	if e.Now()%r.Stride != 0 {
+		return
+	}
+	eid, l := e.MaxQueueLen()
+	if l > r.peakMax {
+		r.peakMax, r.peakEdge = l, eid
+	}
+	r.samples = append(r.samples, Sample{T: e.Now(), TotalQueued: tot, MaxQueueLen: l})
+}
+
+// Samples returns the recorded series (shared slice; read-only).
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// PeakTotal returns the largest total queue observed at any step.
+func (r *Recorder) PeakTotal() int64 { return r.peakTot }
+
+// PeakBuffer returns the largest sampled single-buffer occupancy and
+// its edge.
+func (r *Recorder) PeakBuffer() (graph.EdgeID, int) { return r.peakEdge, r.peakMax }
+
+// Last returns the most recent sample (zero Sample if none).
+func (r *Recorder) Last() Sample {
+	if len(r.samples) == 0 {
+		return Sample{}
+	}
+	return r.samples[len(r.samples)-1]
+}
+
+// WriteCSV writes the series as "t,total_queued,max_queue" rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t,total_queued,max_queue"); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d\n", s.T, s.TotalQueued, s.MaxQueueLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiPlot renders the TotalQueued series as a crude fixed-size ASCII
+// chart for terminal reports. width and height are clamped to sane
+// minima.
+func (r *Recorder) AsciiPlot(width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 3 {
+		height = 3
+	}
+	if len(r.samples) == 0 {
+		return "(no samples)\n"
+	}
+	var maxV int64 = 1
+	for _, s := range r.samples {
+		if s.TotalQueued > maxV {
+			maxV = s.TotalQueued
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for x := 0; x < width; x++ {
+		idx := x * (len(r.samples) - 1) / max(width-1, 1)
+		v := r.samples[idx].TotalQueued
+		y := int(v * int64(height-1) / maxV)
+		grid[height-1-y][x] = '*'
+	}
+	out := fmt.Sprintf("total queued (peak %d over %d samples)\n", maxV, len(r.samples))
+	for _, row := range grid {
+		out += string(row) + "\n"
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EventKind labels a trace event.
+type EventKind uint8
+
+// Event kinds recorded by Tracer.
+const (
+	EvInject EventKind = iota
+	EvReroute
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Kind  EventKind
+	T     int64
+	Pkt   int64
+	Route []graph.EdgeID // the route injected, or the old route on reroute
+}
+
+// Tracer records injections and reroutes up to a cap (0 = unbounded).
+// It exists for tests and debugging; the adversary validators keep
+// their own richer records.
+type Tracer struct {
+	Cap    int
+	events []Event
+}
+
+// OnStep implements Observer (no per-step event).
+func (t *Tracer) OnStep(*Engine) {}
+
+// OnInject implements InjectionObserver.
+func (t *Tracer) OnInject(now int64, p *packet.Packet) {
+	t.record(Event{Kind: EvInject, T: now, Pkt: int64(p.ID),
+		Route: append([]graph.EdgeID{}, p.Route...)})
+}
+
+// OnReroute implements RerouteObserver.
+func (t *Tracer) OnReroute(now int64, p *packet.Packet, oldRoute []graph.EdgeID) {
+	t.record(Event{Kind: EvReroute, T: now, Pkt: int64(p.ID),
+		Route: append([]graph.EdgeID{}, oldRoute...)})
+}
+
+func (t *Tracer) record(ev Event) {
+	if t.Cap > 0 && len(t.events) >= t.Cap {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns the recorded events (shared slice; read-only).
+func (t *Tracer) Events() []Event { return t.events }

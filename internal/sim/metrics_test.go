@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+)
+
+func TestRecorderLastAndPeakBuffer(t *testing.T) {
+	g := graph.Line(2)
+	rec := NewRecorder(1)
+	e := New(g, policy.FIFO{}, nil)
+	e.AddObserver(rec)
+	if (rec.Last() != Sample{}) {
+		t.Error("Last on empty recorder should be zero")
+	}
+	e.SeedN(3, packet.InjNamed(g, "e1", "e2"))
+	e.Run(2)
+	last := rec.Last()
+	if last.T != 2 {
+		t.Errorf("Last.T = %d", last.T)
+	}
+	eid, peak := rec.PeakBuffer()
+	if peak < 2 || eid == graph.NoEdge {
+		t.Errorf("PeakBuffer = (%d, %d)", eid, peak)
+	}
+}
+
+func TestRecorderDefaultStride(t *testing.T) {
+	rec := NewRecorder(0)
+	if rec.Stride != 1 {
+		t.Errorf("stride = %d", rec.Stride)
+	}
+}
+
+func TestAsciiPlotBounds(t *testing.T) {
+	rec := NewRecorder(1)
+	if got := rec.AsciiPlot(1, 1); !strings.Contains(got, "no samples") {
+		t.Errorf("empty plot = %q", got)
+	}
+	g := graph.Line(1)
+	e := New(g, policy.FIFO{}, nil)
+	e.AddObserver(rec)
+	e.SeedN(2, packet.InjNamed(g, "e1"))
+	e.Run(3)
+	plot := rec.AsciiPlot(1, 1) // clamped to minima
+	if len(strings.Split(plot, "\n")) < 4 {
+		t.Errorf("plot too small:\n%s", plot)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	g := graph.Line(1)
+	adv := NopAdversary{}
+	e := New(g, policy.FIFO{}, adv)
+	if e.Graph() != g {
+		t.Error("Graph accessor")
+	}
+	if e.Policy().Name() != "FIFO" {
+		t.Error("Policy accessor")
+	}
+	if e.Adversary() != Adversary(adv) {
+		t.Error("Adversary accessor")
+	}
+}
+
+func TestForEachQueuedOrder(t *testing.T) {
+	g := graph.Line(2)
+	e := New(g, policy.FIFO{}, nil)
+	a := e.Seed(packet.InjNamed(g, "e1"))
+	b := e.Seed(packet.InjNamed(g, "e2"))
+	c := e.Seed(packet.InjNamed(g, "e1"))
+	var order []packet.ID
+	e.ForEachQueued(func(eid graph.EdgeID, p *packet.Packet) {
+		order = append(order, p.ID)
+	})
+	// Edge ID order, then enqueue order within an edge.
+	want := []packet.ID{a.ID, c.ID, b.ID}
+	if len(order) != 3 {
+		t.Fatalf("visited %d", len(order))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %d, want %d", i, order[i], want[i])
+		}
+	}
+}
+
+func TestNilGraphOrPolicyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil graph":  func() { New(nil, policy.FIFO{}, nil) },
+		"nil policy": func() { New(graph.Line(1), nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInjectFuncAdapter(t *testing.T) {
+	g := graph.Line(1)
+	count := 0
+	adv := InjectFunc(func(e *Engine) []packet.Injection {
+		count++
+		if e.Now() == 1 {
+			return []packet.Injection{packet.InjNamed(g, "e1")}
+		}
+		return nil
+	})
+	adv.PreStep(nil) // no-op must not panic
+	e := New(g, policy.FIFO{}, adv)
+	e.Run(3)
+	if count != 3 || e.Injected() != 1 {
+		t.Errorf("count=%d injected=%d", count, e.Injected())
+	}
+}

@@ -1,0 +1,50 @@
+package stability
+
+import "aqt/internal/rational"
+
+// ThresholdSearch locates an instability threshold by rate bisection:
+// assuming probe is monotone (stable below some rate r*, diverging at
+// and above it), it returns the lowest dyadic rate with denominator
+// 2^bits in (lo, hi] at which probe diverges. It returns hi+1/2^bits
+// (i.e. just above hi) when probe never diverges on the grid, and lo
+// when it diverges already at lo.
+//
+// Inconclusive probe results are treated as stable (the search errs
+// towards reporting a higher threshold, never a spuriously low one).
+func ThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi rational.Rat, bits int) rational.Rat {
+	if bits < 1 || bits > 30 {
+		panic("stability: bits out of range")
+	}
+	if !lo.Less(hi) {
+		panic("stability: need lo < hi")
+	}
+	den := int64(1) << bits
+	toGrid := func(r rational.Rat, up bool) int64 {
+		v := r.MulInt(den)
+		if up {
+			return v.Ceil()
+		}
+		return v.Floor()
+	}
+	loI := toGrid(lo, false)
+	hiI := toGrid(hi, true)
+	diverges := func(i int64) bool {
+		return probe(rational.New(i, den)) == Diverging
+	}
+	if diverges(loI) {
+		return rational.New(loI, den)
+	}
+	if !diverges(hiI) {
+		return rational.New(hiI+1, den)
+	}
+	// Invariant: stable at loI, diverging at hiI.
+	for hiI-loI > 1 {
+		mid := (loI + hiI) / 2
+		if diverges(mid) {
+			hiI = mid
+		} else {
+			loI = mid
+		}
+	}
+	return rational.New(hiI, den)
+}

@@ -1,0 +1,81 @@
+package stability
+
+import (
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+func TestThresholdSearchSynthetic(t *testing.T) {
+	// Diverges at and above 5/8.
+	probe := func(r rational.Rat) Verdict {
+		if r.Cmp(rational.New(5, 8)) >= 0 {
+			return Diverging
+		}
+		return Stable
+	}
+	got := ThresholdSearch(probe, rational.New(1, 4), rational.FromInt(1), 10)
+	if !got.Eq(rational.New(5, 8)) {
+		t.Errorf("threshold = %v, want 5/8", got)
+	}
+}
+
+func TestThresholdSearchBoundaries(t *testing.T) {
+	alwaysDiverges := func(rational.Rat) Verdict { return Diverging }
+	neverDiverges := func(rational.Rat) Verdict { return Stable }
+	inconclusive := func(rational.Rat) Verdict { return Inconclusive }
+
+	lo, hi := rational.New(1, 2), rational.FromInt(1)
+	if got := ThresholdSearch(alwaysDiverges, lo, hi, 8); !got.Eq(lo) {
+		t.Errorf("always-diverging threshold = %v, want %v", got, lo)
+	}
+	above := ThresholdSearch(neverDiverges, lo, hi, 8)
+	if !hi.Less(above) {
+		t.Errorf("never-diverging threshold = %v, want > %v", above, hi)
+	}
+	// Inconclusive treated as stable.
+	if got := ThresholdSearch(inconclusive, lo, hi, 8); !hi.Less(got) {
+		t.Errorf("inconclusive threshold = %v", got)
+	}
+}
+
+func TestThresholdSearchPanics(t *testing.T) {
+	probe := func(rational.Rat) Verdict { return Stable }
+	for name, f := range map[string]func(){
+		"bits":   func() { ThresholdSearch(probe, rational.New(1, 2), rational.FromInt(1), 0) },
+		"lo>=hi": func() { ThresholdSearch(probe, rational.FromInt(1), rational.FromInt(1), 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestThresholdSearchSingleEdgeSaturation(t *testing.T) {
+	// A single edge fed by one stream diverges exactly when the rate
+	// exceeds 1 (service is one packet per step).
+	probe := func(rate rational.Rat) Verdict {
+		g := graph.Line(1)
+		adv := adversary.NewScript(adversary.Stream{
+			Start: 1, Rate: rate, Budget: -1, Route: []graph.EdgeID{g.MustEdge("e1")},
+		})
+		eng := sim.New(g, policy.FIFO{}, adv)
+		rep := Run(eng, 1200, 10, 1.25)
+		return rep.Verdict
+	}
+	got := ThresholdSearch(probe, rational.New(1, 2), rational.FromInt(2), 6)
+	// Threshold should land just above 1 (1 + 1/64 on the grid: at
+	// rate exactly 1 the queue stays flat).
+	if got.Float() < 1.0 || got.Float() > 1.1 {
+		t.Errorf("saturation threshold = %v (%.4f), want ~1", got, got.Float())
+	}
+}
