@@ -118,6 +118,7 @@ func main() {
 	fmt.Printf("max per-buffer residence %d (floor(w*r) bound: %d)\n",
 		eng.MaxResidence(true), stability.ResidenceBound(*w, rate))
 	fmt.Printf("%s\n", lat.Stats())
+	fmt.Printf("engine: %s\n", snap.Stats)
 	fmt.Printf("verdict: %v\n", stability.Classify(rec.Samples(), 1.25))
 	fmt.Print(rec.AsciiPlot(64, 10))
 	if wv != nil {

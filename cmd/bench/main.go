@@ -1,0 +1,158 @@
+// Command bench runs the engine hot-path microbenchmarks outside `go
+// test` and emits the results as JSON, so successive PRs can record a
+// BENCH_<label>.json trajectory and diff ns/step and allocs/op over
+// time.
+//
+// Usage:
+//
+//	bench              # JSON to stdout
+//	bench -label pr1   # write BENCH_pr1.json
+//
+// The configurations mirror BenchmarkStep in internal/sim: policies
+// FIFO (ring-deque pop-front), LIS and NTG (keyed-heap fast path)
+// crossed with Line(32), Ring(16) and the G_ε instability graph, under
+// sustained random (w,r) traffic, plus the pure drain regime of a
+// large seeded FIFO buffer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"aqt/internal/adversary"
+	"aqt/internal/gadget"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// Entry is one benchmark result row.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EngineNsPerStep is the engine's own StepStats timing for the
+	// same run — the counter reports and these benchmarks must agree.
+	EngineNsPerStep float64 `json:"engine_ns_per_step"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Label     string  `json:"label"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Timestamp string  `json:"timestamp"`
+	Entries   []Entry `json:"entries"`
+}
+
+func main() {
+	label := flag.String("label", "", "benchmark label; writes BENCH_<label>.json when set")
+	out := flag.String("o", "", "output path (\"-\" or empty = stdout unless -label is set)")
+	flag.Parse()
+
+	topos := []struct {
+		name   string
+		build  func() *graph.Graph
+		maxLen int
+	}{
+		{"Line32", func() *graph.Graph { return graph.Line(32) }, 4},
+		{"Ring16", func() *graph.Graph { return graph.Ring(16) }, 4},
+		{"Geps", func() *graph.Graph { return gadget.NewChain(3, 3, true).G }, 5},
+	}
+	policies := []policy.Policy{policy.FIFO{}, policy.LIS{}, policy.NTG{}}
+
+	rep := Report{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, tp := range topos {
+		for _, pol := range policies {
+			name := fmt.Sprintf("Step/%s/%s", tp.name, pol.Name())
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				g := tp.build()
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), tp.maxLen, 7)
+				eng = sim.New(g, pol, adv)
+				eng.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+			rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
+			fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
+				name, float64(res.NsPerOp()), res.AllocsPerOp())
+		}
+	}
+
+	for _, s := range []int{1 << 10, 1 << 14} {
+		name := fmt.Sprintf("StepSeededFIFO/S=%d", s)
+		g := graph.Line(8)
+		route := []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")}
+		var eng *sim.Engine
+		res := testing.Benchmark(func(b *testing.B) {
+			eng = sim.New(g, policy.FIFO{}, nil)
+			eng.SeedN(s, packet.Inj(route...))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if eng.TotalQueued() == 0 {
+					b.StopTimer()
+					eng = sim.New(g, policy.FIFO{}, nil)
+					eng.SeedN(s, packet.Inj(route...))
+					b.StartTimer()
+				}
+				eng.Step()
+			}
+		})
+		rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
+			name, float64(res.NsPerOp()), res.AllocsPerOp())
+	}
+
+	path := *out
+	if path == "" && *label != "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if path == "" || path == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func entry(name string, res testing.BenchmarkResult, st sim.StepStats) Entry {
+	return Entry{
+		Name:            name,
+		Iterations:      res.N,
+		NsPerOp:         float64(res.NsPerOp()),
+		AllocsPerOp:     res.AllocsPerOp(),
+		BytesPerOp:      res.AllocedBytesPerOp(),
+		EngineNsPerStep: st.NsPerStep(),
+	}
+}

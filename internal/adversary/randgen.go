@@ -33,6 +33,16 @@ type RandomWR struct {
 	g       *graph.Graph
 	rng     *rand.Rand
 	history map[graph.EdgeID][]int64 // admitted injection times per edge
+
+	// Per-step scratch, reused across Inject calls so steady-state
+	// generation is allocation-free except for admitted routes. The
+	// engine consumes the returned injection slice within the same
+	// step, so recycling `out` on the next call is safe.
+	out     []packet.Injection
+	route   []graph.EdgeID
+	cands   []graph.EdgeID
+	visited []int64 // generation stamps, one per node
+	gen     int64
 }
 
 // NewRandomWR returns a generator over g. maxLen bounds route length
@@ -52,6 +62,7 @@ func NewRandomWR(g *graph.Graph, w int64, rate rational.Rat, maxLen int, seed in
 		g:        g,
 		rng:      rand.New(rand.NewSource(seed)),
 		history:  make(map[graph.EdgeID][]int64),
+		visited:  make([]int64, g.NumNodes()),
 	}
 }
 
@@ -67,17 +78,20 @@ func (a *RandomWR) Inject(e *sim.Engine) []packet.Injection {
 		// Definition 2.1 then admits no packets in any window.
 		return nil
 	}
-	var out []packet.Injection
+	a.out = a.out[:0]
 	for i := 0; i < a.Attempts; i++ {
 		route := a.randomRoute()
 		if route == nil {
 			continue
 		}
 		if a.admit(t, route, bound) {
-			out = append(out, packet.Injection{Route: route, SourceName: "randwr"})
+			// The scratch route is recycled for the next candidate;
+			// admitted routes get their own exact-size copy.
+			owned := append([]graph.EdgeID(nil), route...)
+			a.out = append(a.out, packet.Injection{Route: owned, SourceName: "randwr"})
 		}
 	}
-	return out
+	return a.out
 }
 
 // admit checks the trailing-window bound for every edge on the route
@@ -109,33 +123,35 @@ func (a *RandomWR) trailingCount(eid graph.EdgeID, t int64) int {
 	return len(ts)
 }
 
-// randomRoute builds a random simple path of 1..MaxLen edges, or nil
-// if the start node is a sink.
+// randomRoute builds a random simple path of 1..MaxLen edges into the
+// reused scratch slice, or nil if the start node is a sink. The result
+// is valid only until the next call.
 func (a *RandomWR) randomRoute() []graph.EdgeID {
 	start := graph.NodeID(a.rng.Intn(a.g.NumNodes()))
 	targetLen := 1 + a.rng.Intn(a.MaxLen)
-	route := make([]graph.EdgeID, 0, targetLen)
-	visited := map[graph.NodeID]bool{start: true}
+	a.gen++
+	a.route = a.route[:0]
+	a.visited[start] = a.gen
 	cur := start
-	for len(route) < targetLen {
+	for len(a.route) < targetLen {
 		outs := a.g.Out(cur)
 		// Collect candidate edges whose heads are unvisited.
-		var cands []graph.EdgeID
+		a.cands = a.cands[:0]
 		for _, eid := range outs {
-			if !visited[a.g.Edge(eid).To] {
-				cands = append(cands, eid)
+			if a.visited[a.g.Edge(eid).To] != a.gen {
+				a.cands = append(a.cands, eid)
 			}
 		}
-		if len(cands) == 0 {
+		if len(a.cands) == 0 {
 			break
 		}
-		eid := cands[a.rng.Intn(len(cands))]
-		route = append(route, eid)
+		eid := a.cands[a.rng.Intn(len(a.cands))]
+		a.route = append(a.route, eid)
 		cur = a.g.Edge(eid).To
-		visited[cur] = true
+		a.visited[cur] = a.gen
 	}
-	if len(route) == 0 {
+	if len(a.route) == 0 {
 		return nil
 	}
-	return route
+	return a.route
 }

@@ -51,6 +51,84 @@ func TestPushPopOrder(t *testing.T) {
 	}
 }
 
+// TestRemoveAtPrefixShiftWrapped drives RemoveAt down its
+// prefix-shift branch (i < n-i-1) while the prefix physically wraps
+// around the ring end, so the shifted window crosses ring[len-1] →
+// ring[0].
+func TestRemoveAtPrefixShiftWrapped(t *testing.T) {
+	var b Buffer
+	// Fill to capacity 8, then pop 6 so head sits at physical index 6,
+	// two slots from the ring end.
+	for i := 0; i < 8; i++ {
+		b.PushBack(pk(i))
+	}
+	for i := 0; i < 6; i++ {
+		b.PopFront()
+	}
+	// Refill: logical order 6,7,10..15; positions 0 and 1 live at
+	// physical 6 and 7, positions 2.. wrap to physical 0..
+	for i := 10; i < 16; i++ {
+		b.PushBack(pk(i))
+	}
+	if got := ids(&b); !eq(got, []int{6, 7, 10, 11, 12, 13, 14, 15}) {
+		t.Fatalf("setup = %v", got)
+	}
+	// Removing position 2 (first wrapped slot) shifts the prefix
+	// {6,7} right across the wrap boundary.
+	if got := b.RemoveAt(2); int(got.ID) != 10 {
+		t.Fatalf("RemoveAt(2) = %d, want 10", got.ID)
+	}
+	if got := ids(&b); !eq(got, []int{6, 7, 11, 12, 13, 14, 15}) {
+		t.Fatalf("after wrapped prefix shift: %v", got)
+	}
+	// Now remove position 1: the whole (shorter) prefix lives past the
+	// wrap, exercising idx(j-1) wrapping inside the shift loop.
+	if got := b.RemoveAt(1); int(got.ID) != 7 {
+		t.Fatalf("RemoveAt(1) = %d, want 7", got.ID)
+	}
+	if got := ids(&b); !eq(got, []int{6, 11, 12, 13, 14, 15}) {
+		t.Fatalf("after second shift: %v", got)
+	}
+	// Drain fully to confirm ring integrity after the wrapped moves.
+	want := []int{6, 11, 12, 13, 14, 15}
+	for _, w := range want {
+		if got := b.PopFront(); int(got.ID) != w {
+			t.Fatalf("drain got %d, want %d", got.ID, w)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatal("not empty after drain")
+	}
+}
+
+// TestRemoveAtSuffixShiftWrapped exercises the suffix-shift branch
+// when the suffix crosses the wrap boundary.
+func TestRemoveAtSuffixShiftWrapped(t *testing.T) {
+	var b Buffer
+	for i := 0; i < 8; i++ {
+		b.PushBack(pk(i))
+	}
+	b.PopFront()
+	b.PopFront()
+	b.PushBack(pk(10))
+	b.PushBack(pk(11))
+	// Logical 2..7,10,11; head at physical 2; positions 6,7 wrap to
+	// physical 0,1. Removing position 5 (physical 7, the last slot)
+	// picks the suffix branch and shifts {10,11} left across the ring
+	// end.
+	if got := b.RemoveAt(5); int(got.ID) != 7 {
+		t.Fatalf("RemoveAt(5) = %d, want 7", got.ID)
+	}
+	if got := ids(&b); !eq(got, []int{2, 3, 4, 5, 6, 10, 11}) {
+		t.Fatalf("after wrapped suffix shift: %v", got)
+	}
+	for _, w := range []int{2, 3, 4, 5, 6, 10, 11} {
+		if got := b.PopFront(); int(got.ID) != w {
+			t.Fatalf("drain got %d, want %d", got.ID, w)
+		}
+	}
+}
+
 func TestWrapAround(t *testing.T) {
 	var b Buffer
 	// Force head to travel around the ring repeatedly.

@@ -68,10 +68,15 @@ func runOne(r Runner, q Quick) (res Result) {
 	return res
 }
 
-// Summary renders a one-line-per-experiment digest sorted by ID.
+// Summary renders a one-line-per-experiment digest sorted by ID:
+// letter prefix first, then the numeric suffix compared as a number,
+// so E2 precedes E10 (a plain string sort would interleave E10–E13
+// between E1 and E2).
 func Summary(results []Result) string {
 	sorted := append([]Result{}, results...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Runner.ID < sorted[j].Runner.ID })
+	sort.Slice(sorted, func(i, j int) bool {
+		return idLess(sorted[i].Runner.ID, sorted[j].Runner.ID)
+	})
 	out := ""
 	for _, r := range sorted {
 		status := "PASS"
@@ -82,4 +87,38 @@ func Summary(results []Result) string {
 			r.Runner.ID, r.Runner.Name, status, r.Elapsed.Seconds())
 	}
 	return out
+}
+
+// idLess orders experiment IDs by letter prefix, then numeric suffix.
+// IDs without a parseable numeric suffix fall back to string order
+// after their prefix group.
+func idLess(a, b string) bool {
+	ap, an, aok := splitID(a)
+	bp, bn, bok := splitID(b)
+	if ap != bp {
+		return ap < bp
+	}
+	if aok && bok && an != bn {
+		return an < bn
+	}
+	if aok != bok {
+		return aok // numbered IDs before unnumbered within a prefix
+	}
+	return a < b
+}
+
+// splitID splits an ID like "E10" into its non-digit prefix and
+// numeric suffix; ok is false when there is no numeric suffix.
+func splitID(id string) (prefix string, n int, ok bool) {
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
+	}
+	if i == len(id) {
+		return id, 0, false
+	}
+	for _, c := range id[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return id[:i], n, true
 }

@@ -44,6 +44,31 @@ func TestRunAllOrderAndVerdicts(t *testing.T) {
 	}
 }
 
+func TestSummaryNumericIDOrder(t *testing.T) {
+	// Feed the registry IDs in scrambled order; the digest must come
+	// out E1…E13 then F1, F2 — a lexicographic sort would interleave
+	// E10–E13 between E1 and E2.
+	ids := []string{"E10", "F2", "E2", "E13", "E1", "F1", "E11", "E3",
+		"E7", "E12", "E4", "E9", "E5", "E8", "E6"}
+	var results []Result
+	for _, id := range ids {
+		r := fakeRunner(id, true, 0)
+		results = append(results, Result{Runner: r, Table: &Table{ID: id, OK: true}})
+	}
+	sum := Summary(results)
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+		"E9", "E10", "E11", "E12", "E13", "F1", "F2"}
+	lines := strings.Split(strings.TrimRight(sum, "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("%d summary lines, want %d:\n%s", len(lines), len(want), sum)
+	}
+	for i, w := range want {
+		if got := strings.Fields(lines[i])[0]; got != w {
+			t.Fatalf("summary line %d starts with %s, want %s:\n%s", i, got, w, sum)
+		}
+	}
+}
+
 func TestRunAllRecoversPanics(t *testing.T) {
 	rs := []Runner{
 		fakeRunner("X1", true, 0),

@@ -1,0 +1,55 @@
+package rational
+
+import "testing"
+
+// TestCappedPacerSingleTickOvershoot covers the truncation branch of
+// CappedPacer.Tick: with rate 7 and budget 5 the very first tick owes
+// 7 events, which must be clipped to the 5-event budget.
+func TestCappedPacerSingleTickOvershoot(t *testing.T) {
+	p := NewCappedPacer(FromInt(7), 5)
+	if got := p.Tick(); got != 5 {
+		t.Fatalf("first tick emitted %d, want 5", got)
+	}
+	if !p.Done() {
+		t.Error("pacer should be done after clipping to budget")
+	}
+	if p.Emitted() != 5 {
+		t.Errorf("Emitted = %d, want 5", p.Emitted())
+	}
+	if p.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", p.Remaining())
+	}
+	// Exhausted pacers keep counting ticks but never emit again.
+	for i := 0; i < 3; i++ {
+		if got := p.Tick(); got != 0 {
+			t.Fatalf("post-budget tick emitted %d", got)
+		}
+	}
+	if p.Ticks() != 4 {
+		t.Errorf("Ticks = %d, want 4", p.Ticks())
+	}
+	if p.Emitted() != 5 {
+		t.Errorf("Emitted after silence = %d, want 5", p.Emitted())
+	}
+}
+
+// TestCappedPacerMidStreamOvershoot clips a later tick: rate 3,
+// budget 5 emits 3, then 2 (not 3), then silence.
+func TestCappedPacerMidStreamOvershoot(t *testing.T) {
+	p := NewCappedPacer(FromInt(3), 5)
+	if got := p.Tick(); got != 3 {
+		t.Fatalf("tick 1 emitted %d, want 3", got)
+	}
+	if p.Done() {
+		t.Error("not done at 3/5")
+	}
+	if got := p.Tick(); got != 2 {
+		t.Fatalf("tick 2 emitted %d, want 2 (clipped from 3)", got)
+	}
+	if !p.Done() || p.Emitted() != 5 {
+		t.Errorf("Done=%v Emitted=%d, want true/5", p.Done(), p.Emitted())
+	}
+	if got := p.Tick(); got != 0 {
+		t.Errorf("tick 3 emitted %d, want 0", got)
+	}
+}

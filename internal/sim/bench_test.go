@@ -1,0 +1,91 @@
+// Engine hot-path microbenchmarks. BenchmarkStep crosses the three
+// policy shapes the engine special-cases (FIFO = ring-deque pop-front,
+// LIS = keyed heap fast path, NTG = keyed on remaining hops) with the
+// three topology regimes of the paper (Line, Ring, G_ε), all under
+// sustained random (w,r) traffic. Run with
+//
+//	go test -bench=Step -benchmem ./internal/sim
+//
+// and compare against the BENCH_*.json trajectory emitted by
+// cmd/bench.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/gadget"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// benchTopo names a topology generator; G_ε is the cyclic instability
+// graph of Theorem 3.17 (three gadgets of path length 3, stitched).
+type benchTopo struct {
+	name   string
+	build  func() *graph.Graph
+	maxLen int
+}
+
+func benchTopos() []benchTopo {
+	return []benchTopo{
+		{"Line32", func() *graph.Graph { return graph.Line(32) }, 4},
+		{"Ring16", func() *graph.Graph { return graph.Ring(16) }, 4},
+		{"Geps", func() *graph.Graph { return gadget.NewChain(3, 3, true).G }, 5},
+	}
+}
+
+func benchPolicies() []policy.Policy {
+	return []policy.Policy{policy.FIFO{}, policy.LIS{}, policy.NTG{}}
+}
+
+// BenchmarkStep measures ns and allocations per engine step under
+// steady random (w,r) load, per (topology, policy) pair.
+func BenchmarkStep(b *testing.B) {
+	for _, tp := range benchTopos() {
+		for _, pol := range benchPolicies() {
+			b.Run(fmt.Sprintf("%s/%s", tp.name, pol.Name()), func(b *testing.B) {
+				g := tp.build()
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), tp.maxLen, 7)
+				e := sim.New(g, pol, adv)
+				// Warm up so steady-state buffers exist before timing.
+				e.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+				b.ReportMetric(float64(e.TotalQueued()), "backlog")
+			})
+		}
+	}
+}
+
+// BenchmarkStepSeededFIFO measures the paper's pump regime: one huge
+// FIFO buffer draining along a line, no adversary — the pure
+// send/receive path.
+func BenchmarkStepSeededFIFO(b *testing.B) {
+	for _, s := range []int{1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			g := graph.Line(8)
+			route := []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")}
+			e := sim.New(g, policy.FIFO{}, nil)
+			e.SeedN(s, packet.Inj(route...))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e.TotalQueued() == 0 {
+					b.StopTimer()
+					e = sim.New(g, policy.FIFO{}, nil)
+					e.SeedN(s, packet.Inj(route...))
+					b.StartTimer()
+				}
+				e.Step()
+			}
+		})
+	}
+}

@@ -32,6 +32,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"aqt/internal/buffer"
 	"aqt/internal/graph"
@@ -117,11 +118,19 @@ type Engine struct {
 
 	now     int64
 	buffers []buffer.Buffer
-	active  []graph.EdgeID // edge IDs that may have nonempty buffers, sorted
+	active  []graph.EdgeID // edge IDs that may have nonempty buffers, always sorted
 	inAct   []bool         // whether an edge ID is in active
 
 	nextID  packet.ID
 	nextSeq int64
+
+	// Allocation arenas: injected routes and packets are carved out of
+	// chunked backing slices so steady-state injection costs amortized
+	// O(1/chunk) allocations per packet instead of 2.
+	routeArena []graph.EdgeID
+	pktArena   []packet.Packet
+
+	stats StepStats
 
 	injected  int64
 	absorbed  int64
@@ -244,11 +253,10 @@ func (e *Engine) admit(inj packet.Injection, t int64) *packet.Packet {
 		panic(fmt.Sprintf("sim: injection route is not a simple path: %s",
 			e.g.RouteString(inj.Route)))
 	}
-	route := make([]graph.EdgeID, len(inj.Route))
-	copy(route, inj.Route)
-	p := &packet.Packet{
+	p := e.newPacket()
+	*p = packet.Packet{
 		ID:         e.nextID,
-		Route:      route,
+		Route:      e.copyRoute(inj.Route),
 		Pos:        0,
 		InjectedAt: t,
 		Tag:        inj.Tag,
@@ -256,11 +264,42 @@ func (e *Engine) admit(inj packet.Injection, t int64) *packet.Packet {
 	}
 	e.nextID++
 	e.injected++
+	e.stats.Injections++
 	e.enqueue(p, t)
 	for _, ob := range e.injObs {
 		ob.OnInject(t, p)
 	}
 	return p
+}
+
+// newPacket hands out the next slot of the packet arena. A chunk stays
+// reachable while any of its packets is, so absorbed packets remain
+// safe to retain from observers; the arena only amortizes allocator
+// work, it never recycles.
+func (e *Engine) newPacket() *packet.Packet {
+	if len(e.pktArena) == 0 {
+		e.pktArena = make([]packet.Packet, 256)
+	}
+	p := &e.pktArena[0]
+	e.pktArena = e.pktArena[1:]
+	return p
+}
+
+// copyRoute copies src into the route arena. The returned slice has
+// capacity exactly len(src), so appends by callers cannot clobber a
+// neighbouring route.
+func (e *Engine) copyRoute(src []graph.EdgeID) []graph.EdgeID {
+	n := len(src)
+	if cap(e.routeArena)-len(e.routeArena) < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		e.routeArena = make([]graph.EdgeID, 0, size)
+	}
+	start := len(e.routeArena)
+	e.routeArena = append(e.routeArena, src...)
+	return e.routeArena[start : start+n : start+n]
 }
 
 // enqueue places p at the back of the buffer of its current edge.
@@ -275,20 +314,34 @@ func (e *Engine) enqueue(p *packet.Packet, t int64) {
 	}
 	if !e.inAct[eid] {
 		e.inAct[eid] = true
-		e.active = append(e.active, eid)
+		e.insertActive(eid)
 	}
+}
+
+// insertActive places eid into the active list at its sorted position.
+// Activation only happens on an empty→nonempty transition, so in the
+// hot regimes (persistently backlogged buffers) this runs rarely; the
+// sorted invariant lets Step iterate in edge-ID order with no per-step
+// sort.
+func (e *Engine) insertActive(eid graph.EdgeID) {
+	i := sort.Search(len(e.active), func(i int) bool { return e.active[i] >= eid })
+	e.active = append(e.active, 0)
+	copy(e.active[i+1:], e.active[i:])
+	e.active[i] = eid
 }
 
 // Step executes one time step.
 func (e *Engine) Step() {
+	start := time.Now()
 	e.started = true
 	e.now++
 	e.adv.PreStep(e)
 
 	// Substep 1: send one packet from every nonempty buffer.
-	// Iterate in edge-ID order for determinism; compact the active
-	// list, dropping edges whose buffers have drained.
-	sort.Slice(e.active, func(i, j int) bool { return e.active[i] < e.active[j] })
+	// The active list is kept sorted by insertActive, so iterating it
+	// visits edges in ID order (the documented determinism contract)
+	// with no per-step sort; compact it in place, dropping edges whose
+	// buffers have drained.
 	e.inFlight = e.inFlight[:0]
 	keep := e.active[:0]
 	for _, eid := range e.active {
@@ -317,6 +370,7 @@ func (e *Engine) Step() {
 		e.inFlight = append(e.inFlight, p)
 	}
 	e.active = keep
+	e.stats.Sends += int64(len(e.inFlight))
 
 	// Substep 2a: receive. inFlight is in upstream-edge-ID order, the
 	// documented arrival tie-break.
@@ -329,6 +383,7 @@ func (e *Engine) Step() {
 			}
 			continue
 		}
+		e.stats.Receives++
 		e.enqueue(p, e.now)
 	}
 
@@ -340,6 +395,8 @@ func (e *Engine) Step() {
 	for _, ob := range e.observers {
 		ob.OnStep(e)
 	}
+	e.stats.Steps++
+	e.stats.Nanos += time.Since(start).Nanoseconds()
 }
 
 // Run executes n steps.
@@ -478,6 +535,38 @@ func (e *Engine) CheckConservation() {
 	}
 }
 
+// StepStats accumulates lightweight per-engine hot-path counters so
+// perf regressions are observable from any report: packets sent across
+// edges, transit receives (non-absorbing arrivals), injections
+// admitted (seeds included), keyed-heap rebuilds forced by reroutes,
+// and wall-clock nanoseconds spent inside Step.
+type StepStats struct {
+	Steps        int64
+	Sends        int64
+	Receives     int64
+	Injections   int64
+	HeapRebuilds int64
+	Nanos        int64
+}
+
+// NsPerStep returns the mean wall-clock nanoseconds per executed step
+// (0 before any step has run).
+func (s StepStats) NsPerStep() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Nanos) / float64(s.Steps)
+}
+
+// String renders the counters for terminal reports.
+func (s StepStats) String() string {
+	return fmt.Sprintf("steps %d, sends %d, receives %d, injections %d, heap rebuilds %d, %.0f ns/step",
+		s.Steps, s.Sends, s.Receives, s.Injections, s.HeapRebuilds, s.NsPerStep())
+}
+
+// Stats returns the accumulated hot-path counters.
+func (e *Engine) Stats() StepStats { return e.stats }
+
 // Snapshot summarizes the engine state for reports.
 type Snapshot struct {
 	Now         int64
@@ -486,6 +575,7 @@ type Snapshot struct {
 	TotalQueued int64
 	MaxQueueLen int
 	MaxQueueAt  graph.EdgeID
+	Stats       StepStats
 }
 
 // Snap returns a snapshot of the current state.
@@ -498,6 +588,7 @@ func (e *Engine) Snap() Snapshot {
 		TotalQueued: e.TotalQueued(),
 		MaxQueueLen: l,
 		MaxQueueAt:  eid,
+		Stats:       e.stats,
 	}
 }
 

@@ -70,6 +70,7 @@ func (h keyHeap) siftDown(i int) {
 // rebuildHeap regenerates the heap of edge eid from its buffer
 // contents (after a route change invalidated keys).
 func (e *Engine) rebuildHeap(eid int) {
+	e.stats.HeapRebuilds++
 	h := e.heaps[eid][:0]
 	buf := &e.buffers[eid]
 	for i := 0; i < buf.Len(); i++ {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"aqt/internal/packet"
@@ -43,8 +44,18 @@ func (l *LatencyObserver) Stats() LatencyStats {
 	for _, v := range s {
 		sum += v
 	}
+	// Nearest-rank (ceil) indexing: truncating p*(n-1) biases every
+	// percentile low (P50 of two samples would report the minimum).
+	// The epsilon absorbs float error like 0.9*10 = 9.000000000000002,
+	// which would otherwise round a whole rank up.
 	pct := func(p float64) int64 {
-		idx := int(p * float64(len(s)-1))
+		idx := int(math.Ceil(p*float64(len(s)-1) - 1e-9))
+		if idx > len(s)-1 {
+			idx = len(s) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
 		return s[idx]
 	}
 	return LatencyStats{

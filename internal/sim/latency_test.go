@@ -57,15 +57,53 @@ func TestLatencyPercentiles(t *testing.T) {
 	if st.Count != 10 || st.Min != 1 || st.Max != 10 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if st.P50 != 5 {
-		t.Errorf("p50 = %d, want 5", st.P50)
+	// Nearest-rank (ceil) indexing over latencies 1..10.
+	if st.P50 != 6 {
+		t.Errorf("p50 = %d, want 6", st.P50)
 	}
-	if st.P90 != 9 {
-		t.Errorf("p90 = %d, want 9", st.P90)
+	if st.P90 != 10 {
+		t.Errorf("p90 = %d, want 10", st.P90)
 	}
-	if st.P99 != 9 && st.P99 != 10 {
-		t.Errorf("p99 = %d", st.P99)
+	if st.P99 != 10 {
+		t.Errorf("p99 = %d, want 10", st.P99)
 	}
+}
+
+// TestLatencyPercentileIndexing pins the nearest-rank (ceil) rule on
+// hand-checkable sample sets. The seed code truncated p*(n-1), biasing
+// every percentile low — P50 of two samples reported the minimum.
+func TestLatencyPercentileIndexing(t *testing.T) {
+	stats := func(lats ...int64) LatencyStats {
+		lo := &LatencyObserver{lats: lats}
+		return lo.Stats()
+	}
+	cases := []struct {
+		name          string
+		lats          []int64
+		p50, p90, p99 int64
+	}{
+		{"single", []int64{7}, 7, 7, 7},
+		{"pair", []int64{1, 9}, 9, 9, 9},
+		{"triple", []int64{1, 5, 9}, 5, 9, 9},
+		{"hundred", seq(1, 100), 51, 91, 100},
+		{"unsorted", []int64{4, 2, 8, 6}, 6, 8, 8},
+	}
+	for _, c := range cases {
+		st := stats(c.lats...)
+		if st.P50 != c.p50 || st.P90 != c.p90 || st.P99 != c.p99 {
+			t.Errorf("%s: p50/p90/p99 = %d/%d/%d, want %d/%d/%d",
+				c.name, st.P50, st.P90, st.P99, c.p50, c.p90, c.p99)
+		}
+	}
+}
+
+// seq returns lo..hi inclusive.
+func seq(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
 }
 
 func TestAbsorptionObserverHook(t *testing.T) {

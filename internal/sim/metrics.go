@@ -34,18 +34,21 @@ func NewRecorder(stride int64) *Recorder {
 	return &Recorder{Stride: stride}
 }
 
-// OnStep implements Observer.
+// OnStep implements Observer. Peaks (total and single-buffer) are
+// tracked every step regardless of Stride — a between-sample spike
+// must not vanish from PeakBuffer — while the series itself is only
+// appended on sampled steps.
 func (r *Recorder) OnStep(e *Engine) {
 	tot := e.TotalQueued()
 	if tot > r.peakTot {
 		r.peakTot = tot
 	}
-	if e.Now()%r.Stride != 0 {
-		return
-	}
 	eid, l := e.MaxQueueLen()
 	if l > r.peakMax {
 		r.peakMax, r.peakEdge = l, eid
+	}
+	if e.Now()%r.Stride != 0 {
+		return
 	}
 	r.samples = append(r.samples, Sample{T: e.Now(), TotalQueued: tot, MaxQueueLen: l})
 }
@@ -56,8 +59,8 @@ func (r *Recorder) Samples() []Sample { return r.samples }
 // PeakTotal returns the largest total queue observed at any step.
 func (r *Recorder) PeakTotal() int64 { return r.peakTot }
 
-// PeakBuffer returns the largest sampled single-buffer occupancy and
-// its edge.
+// PeakBuffer returns the largest single-buffer occupancy observed at
+// any step (not just sampled ones) and its edge.
 func (r *Recorder) PeakBuffer() (graph.EdgeID, int) { return r.peakEdge, r.peakMax }
 
 // Last returns the most recent sample (zero Sample if none).

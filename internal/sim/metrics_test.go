@@ -29,6 +29,43 @@ func TestRecorderLastAndPeakBuffer(t *testing.T) {
 	}
 }
 
+func TestRecorderPeakBufferOffSample(t *testing.T) {
+	// Stride 2 samples only even steps. Three packets injected at step
+	// 1 put the e1 buffer at its lifetime peak of 3 on an off-sample
+	// step; by step 2 it has drained to 2. PeakBuffer must still
+	// report 3.
+	g := graph.Line(1)
+	rec := NewRecorder(2)
+	e := New(g, policy.FIFO{}, InjectFunc(func(e *Engine) []packet.Injection {
+		if e.Now() != 1 {
+			return nil
+		}
+		return []packet.Injection{
+			packet.InjNamed(g, "e1"),
+			packet.InjNamed(g, "e1"),
+			packet.InjNamed(g, "e1"),
+		}
+	}))
+	e.AddObserver(rec)
+	e.Run(4)
+	eid, peak := rec.PeakBuffer()
+	if peak != 3 {
+		t.Errorf("PeakBuffer = %d, want 3 (peak at off-sample step 1 missed)", peak)
+	}
+	if eid != g.MustEdge("e1") {
+		t.Errorf("PeakBuffer edge = %v, want e1", eid)
+	}
+	if rec.PeakTotal() != 3 {
+		t.Errorf("PeakTotal = %d, want 3", rec.PeakTotal())
+	}
+	// The series itself must still only hold sampled (even) steps.
+	for _, s := range rec.Samples() {
+		if s.T%2 != 0 {
+			t.Errorf("off-stride sample at t=%d", s.T)
+		}
+	}
+}
+
 func TestRecorderDefaultStride(t *testing.T) {
 	rec := NewRecorder(0)
 	if rec.Stride != 1 {

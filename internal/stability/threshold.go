@@ -26,7 +26,11 @@ func ThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi rational.Rat,
 		}
 		return v.Floor()
 	}
-	loI := toGrid(lo, false)
+	// Ceil the lower endpoint: flooring an off-grid lo would probe a
+	// rate strictly below lo, breaking the documented (lo, hi]
+	// contract (and potentially returning a rate the caller already
+	// knows to be stable territory).
+	loI := toGrid(lo, true)
 	hiI := toGrid(hi, true)
 	diverges := func(i int64) bool {
 		return probe(rational.New(i, den)) == Diverging

@@ -43,6 +43,35 @@ func TestThresholdSearchBoundaries(t *testing.T) {
 	}
 }
 
+func TestThresholdSearchOffGridLo(t *testing.T) {
+	// lo = 1/3 is off the dyadic grid (bits=3, den=8). Flooring the
+	// lower grid point would probe 2/8 = 1/4 < lo; with a probe that
+	// already diverges at 1/4 the search would then return 1/4,
+	// violating the (lo, hi] contract. The correct answer is the
+	// lowest grid point >= lo, i.e. 3/8.
+	lo, hi := rational.New(1, 3), rational.FromInt(1)
+	var probed []rational.Rat
+	probe := func(r rational.Rat) Verdict {
+		probed = append(probed, r)
+		if r.Cmp(rational.New(1, 4)) >= 0 {
+			return Diverging
+		}
+		return Stable
+	}
+	got := ThresholdSearch(probe, lo, hi, 3)
+	if got.Less(lo) {
+		t.Errorf("threshold %v is below lo %v", got, lo)
+	}
+	if !got.Eq(rational.New(3, 8)) {
+		t.Errorf("threshold = %v, want 3/8", got)
+	}
+	for _, r := range probed {
+		if r.Less(lo) {
+			t.Errorf("probed rate %v below lo %v", r, lo)
+		}
+	}
+}
+
 func TestThresholdSearchPanics(t *testing.T) {
 	probe := func(rational.Rat) Verdict { return Stable }
 	for name, f := range map[string]func(){
