@@ -1,0 +1,34 @@
+# Developer entry points. `make verify` is the CI gate: tier-1
+# (build + full tests) plus vet and the race detector over the engine,
+# adversary and buffer hot paths — the packages the incremental
+# max-queue and timestamp-ring bookkeeping live in.
+
+GO ?= go
+
+.PHONY: verify test vet race bench bench-diff fuzz
+
+verify: test vet race
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/...
+
+# Emit a BENCH_<LABEL>.json trajectory point (default label: git short hash).
+LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+bench:
+	$(GO) run ./cmd/bench -label $(LABEL)
+
+# Diff the hot-path benchmarks against a previous trajectory point;
+# exits nonzero on >10% ns/op or any allocs/op regression.
+AGAINST ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-diff:
+	$(GO) run ./cmd/bench -against $(AGAINST)
+
+fuzz:
+	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary

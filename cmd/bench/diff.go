@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultNsTolerance is the relative ns/op increase tolerated before an
+// entry counts as regressed in -against mode.
+const DefaultNsTolerance = 0.10
+
+// Diff compares cur against prev entry-by-entry (matched by name) and
+// renders a fixed-width regression report. An entry regresses when its
+// ns/op grew by more than nsTol relative to prev, or when its allocs/op
+// increased at all. Entries present on only one side are reported but
+// never count as regressions. The second return is true when at least
+// one entry regressed.
+func Diff(prev, cur Report, nsTol float64) (string, bool) {
+	prevByName := make(map[string]Entry, len(prev.Entries))
+	for _, e := range prev.Entries {
+		prevByName[e.Name] = e
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench diff: %s vs %s (fail on >%.0f%% ns/op or any allocs/op increase)\n",
+		labelOr(cur.Label, "current"), labelOr(prev.Label, "previous"), nsTol*100)
+	fmt.Fprintf(&b, "%-28s %12s %12s %8s %8s %8s  %s\n",
+		"name", "prev ns/op", "cur ns/op", "ns Δ", "allocs", "allocs'", "verdict")
+
+	regressed := 0
+	for _, c := range cur.Entries {
+		p, ok := prevByName[c.Name]
+		if !ok {
+			fmt.Fprintf(&b, "%-28s %12s %12.0f %8s %8s %8d  new\n",
+				c.Name, "-", c.NsPerOp, "-", "-", c.AllocsPerOp)
+			continue
+		}
+		delete(prevByName, c.Name)
+		delta := 0.0
+		if p.NsPerOp > 0 {
+			delta = (c.NsPerOp - p.NsPerOp) / p.NsPerOp
+		}
+		verdict := "ok"
+		if delta > nsTol {
+			verdict = "REGRESSED ns/op"
+		}
+		if c.AllocsPerOp > p.AllocsPerOp {
+			if verdict != "ok" {
+				verdict += "+allocs"
+			} else {
+				verdict = "REGRESSED allocs/op"
+			}
+		}
+		if verdict != "ok" {
+			regressed++
+		}
+		fmt.Fprintf(&b, "%-28s %12.0f %12.0f %+7.1f%% %8d %8d  %s\n",
+			c.Name, p.NsPerOp, c.NsPerOp, delta*100, p.AllocsPerOp, c.AllocsPerOp, verdict)
+	}
+	var dropped []string
+	for name := range prevByName {
+		dropped = append(dropped, name)
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(&b, "%-28s %12.0f %12s %8s %8d %8s  dropped\n",
+			name, prevByName[name].NsPerOp, "-", "-", prevByName[name].AllocsPerOp, "-")
+	}
+	if regressed > 0 {
+		fmt.Fprintf(&b, "REGRESSION: %d entr%s regressed\n", regressed, plural(regressed))
+	} else {
+		fmt.Fprintf(&b, "ok: no regressions\n")
+	}
+	return b.String(), regressed > 0
+}
+
+func labelOr(label, fallback string) string {
+	if label == "" {
+		return fallback
+	}
+	return label
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diff report")
+
+// fixtureReports builds a prev/cur pair covering every verdict the
+// diff mode can emit: ok (improvement and small drift), ns/op
+// regression above tolerance, allocs/op regression, combined
+// regression, a new entry and a dropped entry.
+func fixtureReports() (Report, Report) {
+	prev := Report{
+		Label: "pr1",
+		Entries: []Entry{
+			{Name: "Step/Line32/FIFO", NsPerOp: 2000, AllocsPerOp: 4},
+			{Name: "Step/Line32/LIS", NsPerOp: 3000, AllocsPerOp: 4},
+			{Name: "Step/Ring16/FIFO", NsPerOp: 1000, AllocsPerOp: 0},
+			{Name: "Step/Ring16/NTG", NsPerOp: 1500, AllocsPerOp: 2},
+			{Name: "StepSeededFIFO/S=1024", NsPerOp: 400, AllocsPerOp: 0},
+			{Name: "Step/Geps/FIFO", NsPerOp: 2500, AllocsPerOp: 3},
+		},
+	}
+	cur := Report{
+		Label: "pr2",
+		Entries: []Entry{
+			{Name: "Step/Line32/FIFO", NsPerOp: 1800, AllocsPerOp: 0},          // improved
+			{Name: "Step/Line32/LIS", NsPerOp: 3240, AllocsPerOp: 4},           // +8%: within tolerance
+			{Name: "Step/Ring16/FIFO", NsPerOp: 1150, AllocsPerOp: 0},          // +15%: ns regression
+			{Name: "Step/Ring16/NTG", NsPerOp: 1500, AllocsPerOp: 3},           // allocs regression
+			{Name: "StepSeededFIFO/S=1024", NsPerOp: 480, AllocsPerOp: 1},      // both
+			{Name: "StepRecorded/Line256/FIFO", NsPerOp: 2100, AllocsPerOp: 0}, // new
+		},
+	}
+	return prev, cur
+}
+
+// TestDiffGolden pins the regression report's exact rendering. Refresh
+// with `go test ./cmd/bench -run TestDiffGolden -update` after an
+// intentional format change.
+func TestDiffGolden(t *testing.T) {
+	prev, cur := fixtureReports()
+	got, regressed := Diff(prev, cur, DefaultNsTolerance)
+	if !regressed {
+		t.Fatal("fixture injects regressions; Diff reported none")
+	}
+	golden := filepath.Join("testdata", "diff_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diff report drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestDiffVerdicts checks the pass/fail decision around the tolerance
+// boundary, which the driver relies on for the nonzero exit.
+func TestDiffVerdicts(t *testing.T) {
+	base := Report{Entries: []Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: 2}}}
+	cases := []struct {
+		name      string
+		cur       Entry
+		regressed bool
+	}{
+		{"identical", Entry{Name: "a", NsPerOp: 1000, AllocsPerOp: 2}, false},
+		{"improved", Entry{Name: "a", NsPerOp: 700, AllocsPerOp: 0}, false},
+		{"at tolerance", Entry{Name: "a", NsPerOp: 1100, AllocsPerOp: 2}, false},
+		{"just above tolerance", Entry{Name: "a", NsPerOp: 1101, AllocsPerOp: 2}, true},
+		{"alloc bump only", Entry{Name: "a", NsPerOp: 900, AllocsPerOp: 3}, true},
+		{"injected 15%", Entry{Name: "a", NsPerOp: 1150, AllocsPerOp: 2}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, regressed := Diff(base, Report{Entries: []Entry{c.cur}}, DefaultNsTolerance)
+			if regressed != c.regressed {
+				t.Errorf("regressed = %v, want %v", regressed, c.regressed)
+			}
+		})
+	}
+}
+
+// TestDiffIgnoresNewAndDropped ensures coverage changes alone never
+// fail the gate.
+func TestDiffIgnoresNewAndDropped(t *testing.T) {
+	prev := Report{Entries: []Entry{{Name: "old", NsPerOp: 100}}}
+	cur := Report{Entries: []Entry{{Name: "new", NsPerOp: 9000, AllocsPerOp: 50}}}
+	if _, regressed := Diff(prev, cur, DefaultNsTolerance); regressed {
+		t.Error("new+dropped entries alone must not regress")
+	}
+}

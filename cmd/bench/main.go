@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	bench              # JSON to stdout
-//	bench -label pr1   # write BENCH_pr1.json
+//	bench                           # JSON to stdout
+//	bench -label pr1                # write BENCH_pr1.json
+//	bench -against BENCH_prev.json  # run, diff, exit 1 on regression
 //
 // The configurations mirror BenchmarkStep in internal/sim: policies
 // FIFO (ring-deque pop-front), LIS and NTG (keyed-heap fast path)
 // crossed with Line(32), Ring(16) and the G_ε instability graph, under
 // sustained random (w,r) traffic, plus the pure drain regime of a
-// large seeded FIFO buffer.
+// large seeded FIFO buffer and the Recorder-observed variants
+// (Line 32/256, stride 1) that exercise the incremental max-queue
+// observation path.
+//
+// -against is the CI diff mode: entries are matched by name against a
+// previous report and the command exits nonzero when ns/op grew by
+// more than the tolerance (default 10%) or allocs/op increased at all.
 package main
 
 import (
@@ -58,6 +65,8 @@ type Report struct {
 func main() {
 	label := flag.String("label", "", "benchmark label; writes BENCH_<label>.json when set")
 	out := flag.String("o", "", "output path (\"-\" or empty = stdout unless -label is set)")
+	against := flag.String("against", "", "previous BENCH_*.json to diff against; exits 1 on regression")
+	tol := flag.Float64("tol", DefaultNsTolerance, "relative ns/op increase tolerated in -against mode")
 	flag.Parse()
 
 	topos := []struct {
@@ -125,6 +134,29 @@ func main() {
 			name, float64(res.NsPerOp()), res.AllocsPerOp())
 	}
 
+	// The Recorder-observed path: stride-1 peak tracking on Line(32)
+	// and Line(256). Before the incremental max these scaled per-step
+	// cost with edge count; the Line256 row pins that they no longer do.
+	for _, n := range []int{32, 256} {
+		name := fmt.Sprintf("StepRecorded/Line%d/FIFO", n)
+		var eng *sim.Engine
+		res := testing.Benchmark(func(b *testing.B) {
+			g := graph.Line(n)
+			adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+			eng = sim.New(g, policy.FIFO{}, adv)
+			eng.AddObserver(sim.NewRecorder(1))
+			eng.Run(256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+		rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
+			name, float64(res.NsPerOp()), res.AllocsPerOp())
+	}
+
 	path := *out
 	if path == "" && *label != "" {
 		path = "BENCH_" + *label + ".json"
@@ -135,15 +167,38 @@ func main() {
 		os.Exit(2)
 	}
 	enc = append(enc, '\n')
-	if path == "" || path == "-" {
-		os.Stdout.Write(enc)
-		return
+	switch {
+	case path == "" || path == "-":
+		// In diff mode the report below is the product; don't drown it
+		// in JSON unless an output was requested.
+		if *against == "" {
+			os.Stdout.Write(enc)
+		}
+	default:
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
-	if err := os.WriteFile(path, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(2)
+
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		var prev Report
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parsing %s: %v\n", *against, err)
+			os.Exit(2)
+		}
+		report, regressed := Diff(prev, rep, *tol)
+		os.Stdout.WriteString(report)
+		if regressed {
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func entry(name string, res testing.BenchmarkResult, st sim.StepStats) Entry {

@@ -24,25 +24,40 @@ import (
 // follows uniformly random outgoing edges, avoiding node revisits, up
 // to MaxLen hops (at least 1). The generator is deterministic for a
 // fixed seed.
+//
+// Steady-state generation is allocation-free: admission history lives
+// in per-edge timestamp rings (admission bounds each ring's occupancy
+// by floor(r·w), so rings grow geometrically to at most that capacity
+// and are then recycled forever), and admitted routes are carved out of
+// a per-step arena. Returned injections are valid until the next Inject
+// call; the engine consumes them within the same step.
 type RandomWR struct {
 	W        int64
 	Rate     rational.Rat
 	MaxLen   int
 	Attempts int // candidate routes tried per step (default 4)
 
-	g       *graph.Graph
-	rng     *rand.Rand
-	history map[graph.EdgeID][]int64 // admitted injection times per edge
+	g     *graph.Graph
+	rng   *rand.Rand
+	bound int64 // floor(Rate·W): per-edge cap in any w-window
+
+	// Per-edge admission history: ring i holds the injection times of
+	// admitted packets requiring edge i, oldest at head[i], newest at
+	// (head[i]+count[i]-1) mod len. Entries older than the trailing
+	// window are pruned in place by trailingCount.
+	rings [][]int64
+	head  []int32
+	count []int32
 
 	// Per-step scratch, reused across Inject calls so steady-state
-	// generation is allocation-free except for admitted routes. The
-	// engine consumes the returned injection slice within the same
-	// step, so recycling `out` on the next call is safe.
-	out     []packet.Injection
-	route   []graph.EdgeID
-	cands   []graph.EdgeID
-	visited []int64 // generation stamps, one per node
-	gen     int64
+	// generation is allocation-free. routeBuf backs the routes of the
+	// injections returned by the current Inject call.
+	out      []packet.Injection
+	routeBuf []graph.EdgeID
+	route    []graph.EdgeID
+	cands    []graph.EdgeID
+	visited  []int64 // generation stamps, one per node
+	gen      int64
 }
 
 // NewRandomWR returns a generator over g. maxLen bounds route length
@@ -61,7 +76,10 @@ func NewRandomWR(g *graph.Graph, w int64, rate rational.Rat, maxLen int, seed in
 		Attempts: 4,
 		g:        g,
 		rng:      rand.New(rand.NewSource(seed)),
-		history:  make(map[graph.EdgeID][]int64),
+		bound:    rate.FloorMulInt(w),
+		rings:    make([][]int64, g.NumEdges()),
+		head:     make([]int32, g.NumEdges()),
+		count:    make([]int32, g.NumEdges()),
 		visited:  make([]int64, g.NumNodes()),
 	}
 }
@@ -72,22 +90,25 @@ func (a *RandomWR) PreStep(*sim.Engine) {}
 // Inject implements sim.Adversary.
 func (a *RandomWR) Inject(e *sim.Engine) []packet.Injection {
 	t := e.Now()
-	bound := a.Rate.FloorMulInt(a.W)
-	if bound < 1 {
+	if a.bound < 1 {
 		// The adversary cannot inject at all with floor(r·w) == 0;
 		// Definition 2.1 then admits no packets in any window.
 		return nil
 	}
 	a.out = a.out[:0]
+	a.routeBuf = a.routeBuf[:0]
 	for i := 0; i < a.Attempts; i++ {
 		route := a.randomRoute()
 		if route == nil {
 			continue
 		}
-		if a.admit(t, route, bound) {
+		if a.admit(t, route) {
 			// The scratch route is recycled for the next candidate;
-			// admitted routes get their own exact-size copy.
-			owned := append([]graph.EdgeID(nil), route...)
+			// admitted routes move into the per-step arena. Capping the
+			// slice keeps later arena appends from clobbering it.
+			start := len(a.routeBuf)
+			a.routeBuf = append(a.routeBuf, route...)
+			owned := a.routeBuf[start:len(a.routeBuf):len(a.routeBuf)]
 			a.out = append(a.out, packet.Injection{Route: owned, SourceName: "randwr"})
 		}
 	}
@@ -95,32 +116,59 @@ func (a *RandomWR) Inject(e *sim.Engine) []packet.Injection {
 }
 
 // admit checks the trailing-window bound for every edge on the route
-// and records the injection when admitted.
-func (a *RandomWR) admit(t int64, route []graph.EdgeID, bound int64) bool {
+// and records the injection time in each edge's ring when admitted.
+func (a *RandomWR) admit(t int64, route []graph.EdgeID) bool {
 	for _, eid := range route {
-		if int64(a.trailingCount(eid, t))+1 > bound {
+		if int64(a.trailingCount(eid, t))+1 > a.bound {
 			return false
 		}
 	}
 	for _, eid := range route {
-		a.history[eid] = append(a.history[eid], t)
+		a.push(eid, t)
 	}
 	return true
 }
 
 // trailingCount returns how many admitted packets requiring eid were
-// injected in (t-w, t]. It prunes old history as it goes.
+// injected in (t-w, t]. It prunes expired entries from the ring head as
+// it goes.
 func (a *RandomWR) trailingCount(eid graph.EdgeID, t int64) int {
-	ts := a.history[eid]
-	cut := 0
-	for cut < len(ts) && ts[cut] <= t-a.W {
-		cut++
+	ts := a.rings[eid]
+	h, n := a.head[eid], a.count[eid]
+	for n > 0 && ts[h] <= t-a.W {
+		h++
+		if int(h) == len(ts) {
+			h = 0
+		}
+		n--
 	}
-	if cut > 0 {
-		ts = ts[cut:]
-		a.history[eid] = ts
+	a.head[eid], a.count[eid] = h, n
+	return int(n)
+}
+
+// push appends t to eid's ring, growing it geometrically up to the
+// admission bound (after which occupancy can never exceed capacity, so
+// the ring is recycled with no further allocation).
+func (a *RandomWR) push(eid graph.EdgeID, t int64) {
+	ts := a.rings[eid]
+	h, n := a.head[eid], a.count[eid]
+	if int(n) == len(ts) {
+		grow := 2 * len(ts)
+		if grow < 4 {
+			grow = 4
+		}
+		if int64(grow) > a.bound {
+			grow = int(a.bound)
+		}
+		fresh := make([]int64, grow)
+		for i := int32(0); i < n; i++ {
+			fresh[i] = ts[(h+i)%int32(len(ts))]
+		}
+		ts, h = fresh, 0
+		a.rings[eid], a.head[eid] = ts, h
 	}
-	return len(ts)
+	ts[(int(h)+int(n))%len(ts)] = t
+	a.count[eid] = n + 1
 }
 
 // randomRoute builds a random simple path of 1..MaxLen edges into the

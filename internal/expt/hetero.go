@@ -94,7 +94,7 @@ func runHeteroPump(p core.Params, s int64, hetero bool) int64 {
 		}
 	}
 	e.SetAdversary(script)
-	e.Run(2*s + int64(p.N))
+	e.RunQuiet(2*s + int64(p.N))
 	rep := c.CheckInvariant(e, 2, true)
 	goodE := int64(rep.ETotal - rep.BadERoutes)
 	if int64(rep.AQueue) < goodE {

@@ -65,6 +65,38 @@ func BenchmarkStep(b *testing.B) {
 	}
 }
 
+// BenchmarkStepRecorded measures the observation path the stability
+// experiments and threshold searches drive: Step with a stride-1
+// Recorder attached (peak tracking every step), against the same
+// engine unobserved. Before the incremental max-queue counter the
+// recorded variant scaled per-step cost with edge count (the Recorder
+// forced an O(E) MaxQueueLen scan each step); the Line256 pair pins
+// that the recorded/quiet gap no longer grows with E.
+func BenchmarkStepRecorded(b *testing.B) {
+	for _, n := range []int{32, 256} {
+		for _, recorded := range []bool{false, true} {
+			mode := "quiet"
+			if recorded {
+				mode = "stride1"
+			}
+			b.Run(fmt.Sprintf("Line%d/FIFO/%s", n, mode), func(b *testing.B) {
+				g := graph.Line(n)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				e := sim.New(g, policy.FIFO{}, adv)
+				if recorded {
+					e.AddObserver(sim.NewRecorder(1))
+				}
+				e.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkStepSeededFIFO measures the paper's pump regime: one huge
 // FIFO buffer draining along a line, no adversary — the pure
 // send/receive path.

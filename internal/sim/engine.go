@@ -124,6 +124,22 @@ type Engine struct {
 	nextID  packet.ID
 	nextSeq int64
 
+	// Incremental max-queue tracking. Invariant (after every public
+	// method returns): lenCnt[l] counts the edges whose buffer holds
+	// exactly l packets (so sum(lenCnt) == NumEdges), curMax is the
+	// largest l with lenCnt[l] > 0 (0 for an empty network), and —
+	// unless maxDirty — maxEdge is the lowest edge ID whose buffer
+	// holds curMax packets. Buffer lengths only ever change by ±1
+	// (enqueue/send), so growLen/shrinkLen maintain curMax in O(1);
+	// maxEdge is recomputed lazily by MaxQueueLen when a shrink made
+	// the argmax unknown. The differential harness in
+	// maxqueue_diff_test.go checks this invariant against a brute-force
+	// scan after every step.
+	lenCnt   []int32
+	curMax   int
+	maxEdge  graph.EdgeID
+	maxDirty bool
+
 	// Allocation arenas: injected routes and packets are carved out of
 	// chunked backing slices so steady-state injection costs amortized
 	// O(1/chunk) allocations per packet instead of 2.
@@ -175,7 +191,10 @@ func NewWithConfig(g *graph.Graph, pol policy.Policy, adv Adversary, cfg Config)
 		cfg:     cfg,
 		buffers: make([]buffer.Buffer, g.NumEdges()),
 		inAct:   make([]bool, g.NumEdges()),
+		lenCnt:  make([]int32, 64),
+		maxEdge: graph.NoEdge,
 	}
+	e.lenCnt[0] = int32(g.NumEdges())
 	if cfg.PolicyFor != nil {
 		e.polFor = make([]policy.Policy, g.NumEdges())
 		for eid := 0; eid < g.NumEdges(); eid++ {
@@ -309,12 +328,51 @@ func (e *Engine) enqueue(p *packet.Packet, t int64) {
 	e.nextSeq++
 	eid := p.CurrentEdge()
 	e.buffers[eid].PushBack(p)
+	e.growLen(eid, e.buffers[eid].Len())
 	if e.keyed != nil {
 		e.heaps[eid].push(keyEntry{key: e.keyed.SelectionKey(p), seq: p.EnqueueSeq})
 	}
 	if !e.inAct[eid] {
 		e.inAct[eid] = true
 		e.insertActive(eid)
+	}
+}
+
+// growLen records that edge eid's buffer grew from l-1 to l packets.
+func (e *Engine) growLen(eid graph.EdgeID, l int) {
+	if l >= len(e.lenCnt) {
+		e.lenCnt = append(e.lenCnt, make([]int32, len(e.lenCnt))...)
+	}
+	e.lenCnt[l-1]--
+	e.lenCnt[l]++
+	switch {
+	case l > e.curMax:
+		// Strictly above the previous max: eid is the unique (hence
+		// lowest) edge at the new max.
+		e.curMax, e.maxEdge, e.maxDirty = l, eid, false
+	case l == e.curMax && !e.maxDirty && eid < e.maxEdge:
+		e.maxEdge = eid
+	}
+}
+
+// shrinkLen records that edge eid's buffer shrank from l+1 to l.
+func (e *Engine) shrinkLen(eid graph.EdgeID, l int) {
+	e.lenCnt[l+1]--
+	e.lenCnt[l]++
+	if l+1 != e.curMax {
+		return
+	}
+	if e.lenCnt[e.curMax] == 0 {
+		// The max level emptied; lengths change by one, so the new max
+		// is exactly one below (eid itself now sits there). Which edge
+		// at that level has the lowest ID is unknown until queried.
+		e.curMax--
+		e.maxDirty = true
+		if e.curMax == 0 {
+			e.maxEdge, e.maxDirty = graph.NoEdge, false
+		}
+	} else if eid == e.maxEdge {
+		e.maxDirty = true
 	}
 }
 
@@ -330,9 +388,22 @@ func (e *Engine) insertActive(eid graph.EdgeID) {
 	e.active[i] = eid
 }
 
-// Step executes one time step.
+// Step executes one time step and dispatches OnStep observers.
 func (e *Engine) Step() {
 	start := time.Now()
+	e.stepCore()
+	for _, ob := range e.observers {
+		ob.OnStep(e)
+	}
+	e.stats.Nanos += time.Since(start).Nanoseconds()
+}
+
+// stepCore executes one time step without dispatching OnStep observers
+// and without wall-clock accounting (callers attribute StepStats.Nanos,
+// per step or per batch). Event observers — injection, reroute,
+// absorption — still fire: they are wired into admit, ReplaceRouteSuffix
+// and the receive substep, not into the per-step dispatch loop.
+func (e *Engine) stepCore() {
 	e.started = true
 	e.now++
 	e.adv.PreStep(e)
@@ -364,6 +435,7 @@ func (e *Engine) Step() {
 		default:
 			p = buf.RemoveAt(e.pol.Select(buf, e.now))
 		}
+		e.shrinkLen(eid, buf.Len())
 		if res := e.now - p.ArrivedAt; res > e.maxResidence {
 			e.maxResidence = res
 		}
@@ -391,19 +463,40 @@ func (e *Engine) Step() {
 	for _, inj := range e.adv.Inject(e) {
 		e.admit(inj, e.now)
 	}
-
-	for _, ob := range e.observers {
-		ob.OnStep(e)
-	}
 	e.stats.Steps++
-	e.stats.Nanos += time.Since(start).Nanoseconds()
 }
 
-// Run executes n steps.
+// Run executes n steps. When no observers are registered the per-step
+// dispatch loop is skipped entirely (the RunQuiet fast path); otherwise
+// every registered observer sees every step exactly once, as with
+// repeated Step calls.
 func (e *Engine) Run(n int64) {
+	if len(e.observers) == 0 {
+		e.RunQuiet(n)
+		return
+	}
 	for i := int64(0); i < n; i++ {
 		e.Step()
 	}
+}
+
+// RunQuiet executes n steps without dispatching OnStep observers,
+// whether or not any are registered — the hot loop for threshold
+// searches and batch experiments where per-step observation is
+// unnecessary. Event observers (InjectionObserver, RerouteObserver,
+// AbsorptionObserver) still fire. With zero observers registered,
+// RunQuiet(n) and Run(n) produce identical executions (equivalence is
+// asserted by TestRunQuietEquivalence). Wall-clock time is accounted to
+// StepStats.Nanos once per batch instead of once per step.
+func (e *Engine) RunQuiet(n int64) {
+	if n <= 0 {
+		return
+	}
+	start := time.Now()
+	for i := int64(0); i < n; i++ {
+		e.stepCore()
+	}
+	e.stats.Nanos += time.Since(start).Nanoseconds()
 }
 
 // RunUntil executes steps until pred returns true or maxSteps steps
@@ -471,17 +564,31 @@ func (e *Engine) Queue(eid graph.EdgeID) *buffer.Buffer { return &e.buffers[eid]
 // TotalQueued returns the number of packets currently in the network.
 func (e *Engine) TotalQueued() int64 { return e.injected - e.absorbed }
 
+// MaxQueued returns the largest current buffer occupancy in O(1),
+// maintained incrementally from per-edge length deltas. Stride-1 peak
+// tracking (Recorder) uses this every step; resolve the achieving edge
+// with MaxQueueLen only when needed.
+func (e *Engine) MaxQueued() int { return e.curMax }
+
 // MaxQueueLen returns the largest current buffer occupancy and the
 // edge achieving it (ties to the lowest edge ID). Returns (NoEdge, 0)
-// on an empty network.
+// on an empty network. The length is maintained incrementally (O(1));
+// the edge is cached and lazily recomputed by one O(E) scan only when
+// buffer shrinks since the last call left the argmax unknown.
 func (e *Engine) MaxQueueLen() (graph.EdgeID, int) {
-	best, bestLen := graph.NoEdge, 0
-	for eid := 0; eid < e.g.NumEdges(); eid++ {
-		if l := e.buffers[eid].Len(); l > bestLen {
-			best, bestLen = graph.EdgeID(eid), l
-		}
+	if e.curMax == 0 {
+		return graph.NoEdge, 0
 	}
-	return best, bestLen
+	if e.maxDirty {
+		for eid := range e.buffers {
+			if e.buffers[eid].Len() == e.curMax {
+				e.maxEdge = graph.EdgeID(eid)
+				break
+			}
+		}
+		e.maxDirty = false
+	}
+	return e.maxEdge, e.curMax
 }
 
 // Injected returns the lifetime number of injected packets (including

@@ -37,14 +37,17 @@ func NewRecorder(stride int64) *Recorder {
 // OnStep implements Observer. Peaks (total and single-buffer) are
 // tracked every step regardless of Stride — a between-sample spike
 // must not vanish from PeakBuffer — while the series itself is only
-// appended on sampled steps.
+// appended on sampled steps. Per-step cost is O(1): the max length
+// comes from the engine's incremental counter, and the achieving edge
+// is resolved only when a new peak is set.
 func (r *Recorder) OnStep(e *Engine) {
 	tot := e.TotalQueued()
 	if tot > r.peakTot {
 		r.peakTot = tot
 	}
-	eid, l := e.MaxQueueLen()
+	l := e.MaxQueued()
 	if l > r.peakMax {
+		eid, _ := e.MaxQueueLen()
 		r.peakMax, r.peakEdge = l, eid
 	}
 	if e.Now()%r.Stride != 0 {

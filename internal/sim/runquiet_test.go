@@ -1,0 +1,119 @@
+// Equivalence tests for the quiet observation path: RunQuiet must be
+// the same execution as Run, observers must see every step exactly
+// once, and event observers must keep firing under RunQuiet.
+package sim_test
+
+import (
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// normalize clears the only nondeterministic Snapshot field (wall-clock
+// nanoseconds) so snapshots of equal executions compare byte-identical.
+func normalize(s sim.Snapshot) sim.Snapshot {
+	s.Stats.Nanos = 0
+	return s
+}
+
+// TestRunQuietEquivalence runs the same seeded random (w,r) workload
+// three ways — RunQuiet, Run with zero observers, and a manual Step
+// loop — for FIFO, LIS and NTG, and requires identical Snapshots and
+// StepStats (modulo Nanos) plus identical per-edge queue lengths.
+func TestRunQuietEquivalence(t *testing.T) {
+	const steps = 500
+	for _, pol := range []policy.Policy{policy.FIFO{}, policy.LIS{}, policy.NTG{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			build := func() *sim.Engine {
+				g := graph.Line(12)
+				adv := adversary.NewRandomWR(g, 20, rational.New(2, 5), 4, 23)
+				e := sim.New(g, pol, adv)
+				e.SeedN(3, packet.Injection{Route: []graph.EdgeID{0, 1}})
+				return e
+			}
+			quiet, loud, manual := build(), build(), build()
+			quiet.RunQuiet(steps)
+			loud.Run(steps)
+			for i := 0; i < steps; i++ {
+				manual.Step()
+			}
+			sq, sl, sm := normalize(quiet.Snap()), normalize(loud.Snap()), normalize(manual.Snap())
+			if sq != sl {
+				t.Errorf("RunQuiet snapshot %+v != Run snapshot %+v", sq, sl)
+			}
+			if sq != sm {
+				t.Errorf("RunQuiet snapshot %+v != Step-loop snapshot %+v", sq, sm)
+			}
+			for eid := 0; eid < quiet.Graph().NumEdges(); eid++ {
+				id := graph.EdgeID(eid)
+				if quiet.QueueLen(id) != loud.QueueLen(id) {
+					t.Fatalf("edge %d: RunQuiet queue %d != Run queue %d",
+						eid, quiet.QueueLen(id), loud.QueueLen(id))
+				}
+			}
+		})
+	}
+}
+
+// stepRecorder records the engine time at every OnStep dispatch.
+type stepRecorder struct {
+	times []int64
+}
+
+func (r *stepRecorder) OnStep(e *sim.Engine) { r.times = append(r.times, e.Now()) }
+
+// TestRunDispatchesEveryStep attaches a recording observer to Run and
+// requires exactly one OnStep per step, in order.
+func TestRunDispatchesEveryStep(t *testing.T) {
+	g := graph.Line(6)
+	e := sim.New(g, policy.FIFO{}, adversary.NewRandomWR(g, 10, rational.New(1, 2), 3, 5))
+	rec := &stepRecorder{}
+	e.AddObserver(rec)
+	e.Run(64)
+	if len(rec.times) != 64 {
+		t.Fatalf("observer saw %d steps, want 64", len(rec.times))
+	}
+	for i, now := range rec.times {
+		if now != int64(i+1) {
+			t.Fatalf("dispatch %d saw t=%d, want %d", i, now, i+1)
+		}
+	}
+}
+
+// countingEventObserver counts event-observer callbacks (and OnStep, to
+// prove RunQuiet suppresses it).
+type countingEventObserver struct {
+	steps, injects, reroutes, absorbs int
+}
+
+func (c *countingEventObserver) OnStep(*sim.Engine)                              { c.steps++ }
+func (c *countingEventObserver) OnInject(int64, *packet.Packet)                  { c.injects++ }
+func (c *countingEventObserver) OnReroute(int64, *packet.Packet, []graph.EdgeID) { c.reroutes++ }
+func (c *countingEventObserver) OnAbsorb(int64, *packet.Packet)                  { c.absorbs++ }
+
+// TestRunQuietDeliversEvents verifies the documented RunQuiet contract:
+// OnStep is skipped, but injection and absorption events still fire.
+func TestRunQuietDeliversEvents(t *testing.T) {
+	g := graph.Line(8)
+	e := sim.New(g, policy.FIFO{}, adversary.NewRandomWR(g, 12, rational.New(1, 2), 3, 9))
+	ob := &countingEventObserver{}
+	e.AddObserver(ob)
+	e.RunQuiet(200)
+	if ob.steps != 0 {
+		t.Errorf("RunQuiet dispatched OnStep %d times, want 0", ob.steps)
+	}
+	if int64(ob.injects) != e.Injected() || ob.injects == 0 {
+		t.Errorf("observer saw %d injections, engine reports %d", ob.injects, e.Injected())
+	}
+	if int64(ob.absorbs) != e.Absorbed() || ob.absorbs == 0 {
+		t.Errorf("observer saw %d absorptions, engine reports %d", ob.absorbs, e.Absorbed())
+	}
+	if ob.reroutes != 0 {
+		t.Errorf("RandomWR never reroutes, observer saw %d", ob.reroutes)
+	}
+}

@@ -93,7 +93,8 @@ func (r ResidenceResult) String() string {
 // adversary uses (for the report only).
 func CheckResidence(g *graph.Graph, pol policy.Policy, adv sim.Adversary, w int64, rate rational.Rat, d int, steps int64) ResidenceResult {
 	e := sim.New(g, pol, adv)
-	e.Run(steps)
+	// No observers and no per-step decisions: take the quiet hot loop.
+	e.RunQuiet(steps)
 	return ResidenceResult{
 		Policy:   pol.Name(),
 		W:        w,
