@@ -32,3 +32,4 @@ bench-diff:
 
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary
+	$(GO) test -fuzz FuzzKeyedHeapAgreement -fuzztime 30s ./internal/sim

@@ -109,6 +109,40 @@ func main() {
 		}
 	}
 
+	// The Lemma 3.3 reroute regime: to-go policies under sustained
+	// route replacement at a gadget ingress. This is the workload the
+	// keyed-heap tombstone scheme exists for — the eager rebuild paid
+	// O(S) per reroute here.
+	for _, pol := range []policy.Policy{policy.NTG{}, policy.FTG{}} {
+		for _, s := range []int{1 << 10, 1 << 13} {
+			name := fmt.Sprintf("StepReroute/Geps/%s/S=%d", pol.Name(), s)
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				c := gadget.NewChain(3, 2, false)
+				full := c.LongRoute(1)
+				mk := func() *sim.Engine {
+					e := sim.New(c.G, pol, &rerouteChurn{full: full, touch: 8})
+					e.SeedN(s, packet.Inj(full...))
+					return e
+				}
+				eng = mk()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if eng.Queue(full[0]).Len() < s/2 {
+						b.StopTimer()
+						eng = mk()
+						b.StartTimer()
+					}
+					eng.Step()
+				}
+			})
+			rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
+			fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
+				name, float64(res.NsPerOp()), res.AllocsPerOp())
+		}
+	}
+
 	for _, s := range []int{1 << 10, 1 << 14} {
 		name := fmt.Sprintf("StepSeededFIFO/S=%d", s)
 		g := graph.Line(8)
@@ -200,6 +234,34 @@ func main() {
 		}
 	}
 }
+
+// rerouteChurn mirrors the adversary of BenchmarkStepReroute in
+// internal/sim: each step it alternates truncating and restoring the
+// routes of 8 ingress packets, changing their to-go selection keys.
+type rerouteChurn struct {
+	full  []graph.EdgeID
+	tick  int
+	touch int
+}
+
+func (c *rerouteChurn) PreStep(e *sim.Engine) {
+	q := e.Queue(c.full[0])
+	n := q.Len()
+	if n == 0 {
+		return
+	}
+	for i := 0; i < c.touch; i++ {
+		c.tick++
+		p := q.At(c.tick * 37 % n)
+		if c.tick%2 == 0 {
+			e.ReplaceRouteSuffix(p, nil)
+		} else {
+			e.ReplaceRouteSuffix(p, c.full[1:])
+		}
+	}
+}
+
+func (*rerouteChurn) Inject(*sim.Engine) []packet.Injection { return nil }
 
 func entry(name string, res testing.BenchmarkResult, st sim.StepStats) Entry {
 	return Entry{

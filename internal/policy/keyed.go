@@ -12,8 +12,10 @@ import "aqt/internal/packet"
 // times never change (LIS, SIS), and a packet's position — hence its
 // remaining-hop count and hops-from-source — only changes when it
 // moves between buffers (FTG, NTG, FFS, NFS). The one exception is a
-// Lemma 3.3 route extension, which changes RemainingHops in place; the
-// engine rebuilds the affected buffer's heap when that happens.
+// Lemma 3.3 reroute, which changes RemainingHops in place; the engine
+// then pushes a fresh heap entry for just that packet and lazily
+// discards the stranded old one (the tombstone scheme in sim/keyed.go)
+// instead of rebuilding the whole buffer's heap.
 type Keyed interface {
 	Policy
 	// SelectionKey returns the key minimized by this policy's

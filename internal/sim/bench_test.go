@@ -97,6 +97,71 @@ func BenchmarkStepRecorded(b *testing.B) {
 	}
 }
 
+// rerouteChurn is a Lemma 3.3-shaped adversary: every step it reroutes
+// `touch` packets of the gadget's ingress buffer, alternating between
+// truncating the route after the current edge and restoring the full
+// long route. Each key-changing reroute used to force an O(S) heap
+// rebuild; under the tombstone scheme it is an O(log S) push.
+type rerouteChurn struct {
+	full  []graph.EdgeID
+	tick  int
+	touch int
+}
+
+func (c *rerouteChurn) PreStep(e *sim.Engine) {
+	q := e.Queue(c.full[0])
+	n := q.Len()
+	if n == 0 {
+		return
+	}
+	for i := 0; i < c.touch; i++ {
+		c.tick++
+		p := q.At(c.tick * 37 % n)
+		if c.tick%2 == 0 {
+			e.ReplaceRouteSuffix(p, nil)
+		} else {
+			e.ReplaceRouteSuffix(p, c.full[1:])
+		}
+	}
+}
+
+func (*rerouteChurn) Inject(*sim.Engine) []packet.Injection { return nil }
+
+// BenchmarkStepReroute measures Step under sustained Lemma 3.3
+// rerouting: S long-route packets at a gadget-chain ingress under a
+// to-go policy, with 8 route replacements per step. This is the
+// workload where the eager per-reroute heap rebuild cost O(S) per
+// touch; the tombstone scheme pays O(log S).
+func BenchmarkStepReroute(b *testing.B) {
+	for _, pol := range []policy.Policy{policy.NTG{}, policy.FTG{}} {
+		for _, s := range []int{1 << 10, 1 << 13} {
+			b.Run(fmt.Sprintf("Geps/%s/S=%d", pol.Name(), s), func(b *testing.B) {
+				c := gadget.NewChain(3, 2, false)
+				full := c.LongRoute(1)
+				mk := func() *sim.Engine {
+					e := sim.New(c.G, pol, &rerouteChurn{full: full, touch: 8})
+					e.SeedN(s, packet.Inj(full...))
+					return e
+				}
+				e := mk()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if e.Queue(full[0]).Len() < s/2 {
+						b.StopTimer()
+						e = mk()
+						b.StartTimer()
+					}
+					e.Step()
+				}
+				if st := e.Stats(); st.Steps > 0 {
+					b.ReportMetric(float64(st.HeapCompactions)/float64(st.Steps), "compactions/step")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkStepSeededFIFO measures the paper's pump regime: one huge
 // FIFO buffer draining along a line, no adversary — the pure
 // send/receive path.

@@ -160,10 +160,17 @@ type Engine struct {
 	started      bool  // true once Step has run; seeds then refused
 
 	// Keyed-policy fast path (see keyed.go): non-nil when the policy
-	// implements policy.Keyed.
+	// implements policy.Keyed. heapStale counts, per edge, the heap
+	// entries stranded as tombstones by key-changing reroutes; it
+	// drives the amortized compaction of popKeyed's lazy deletion.
 	keyed     policy.Keyed
 	heaps     []keyHeap
-	heapDirty []bool
+	heapStale []int
+
+	// midStep is true while stepCore runs its send/receive/inject
+	// substeps; reroutes are legal only before them (from PreStep, or
+	// between steps, which is equivalent to the next PreStep).
+	midStep bool
 
 	// polFor holds the per-edge policies of a heterogeneous network
 	// (nil in the homogeneous case).
@@ -207,7 +214,7 @@ func NewWithConfig(g *graph.Graph, pol policy.Policy, adv Adversary, cfg Config)
 	} else if k, ok := pol.(policy.Keyed); ok {
 		e.keyed = k
 		e.heaps = make([]keyHeap, g.NumEdges())
-		e.heapDirty = make([]bool, g.NumEdges())
+		e.heapStale = make([]int, g.NumEdges())
 	}
 	return e
 }
@@ -407,6 +414,7 @@ func (e *Engine) stepCore() {
 	e.started = true
 	e.now++
 	e.adv.PreStep(e)
+	e.midStep = true
 
 	// Substep 1: send one packet from every nonempty buffer.
 	// The active list is kept sorted by insertActive, so iterating it
@@ -425,11 +433,7 @@ func (e *Engine) stepCore() {
 		var p *packet.Packet
 		switch {
 		case e.keyed != nil:
-			if e.heapDirty[eid] {
-				e.rebuildHeap(int(eid))
-			}
-			top := e.heaps[eid].pop()
-			p = buf.RemoveAt(buf.IndexOfSeq(top.seq))
+			p = e.popKeyed(eid)
 		case e.polFor != nil:
 			p = buf.RemoveAt(e.polFor[eid].Select(buf, e.now))
 		default:
@@ -464,6 +468,7 @@ func (e *Engine) stepCore() {
 		e.admit(inj, e.now)
 	}
 	e.stats.Steps++
+	e.midStep = false
 }
 
 // Run executes n steps. When no observers are registered the per-step
@@ -500,8 +505,23 @@ func (e *Engine) RunQuiet(n int64) {
 }
 
 // RunUntil executes steps until pred returns true or maxSteps steps
-// have run; it reports whether pred fired.
+// have run; it reports whether pred fired. Like Run, it skips the
+// OnStep dispatch loop entirely when no observers are registered
+// (wall-clock time is then accounted to StepStats.Nanos once for the
+// whole run, pred evaluations included); event observers still fire
+// either way.
 func (e *Engine) RunUntil(pred func(e *Engine) bool, maxSteps int64) bool {
+	if len(e.observers) == 0 {
+		start := time.Now()
+		defer func() { e.stats.Nanos += time.Since(start).Nanoseconds() }()
+		for i := int64(0); i < maxSteps; i++ {
+			e.stepCore()
+			if pred(e) {
+				return true
+			}
+		}
+		return false
+	}
 	for i := int64(0); i < maxSteps; i++ {
 		e.Step()
 		if pred(e) {
@@ -526,8 +546,22 @@ func (e *Engine) ExtendRoute(p *packet.Packet, ext []graph.EdgeID) {
 // ReplaceRouteSuffix replaces the part of p's route strictly after its
 // current edge with newSuffix (which may be empty). In the notation of
 // Lemma 3.3 the route q_p e_p r_p becomes q_p e_p r'_p.
+//
+// Reroutes are legal only from Adversary.PreStep or between steps
+// (which is equivalent to the next step's PreStep); a reroute from the
+// send, receive or inject substep — or from an event observer fired
+// inside them — would silently corrupt the keyed-heap tombstone
+// bookkeeping, so the engine panics instead.
 func (e *Engine) ReplaceRouteSuffix(p *packet.Packet, newSuffix []graph.EdgeID) {
+	if e.midStep {
+		panic(fmt.Sprintf("sim: reroute of %v during the send/receive/inject substeps; "+
+			"Lemma 3.3 reroutes are allowed only from Adversary.PreStep (or between steps)", p))
+	}
 	old := p.Route
+	var oldKey int64
+	if e.keyed != nil {
+		oldKey = e.keyed.SelectionKey(p)
+	}
 	route := make([]graph.EdgeID, 0, p.Pos+1+len(newSuffix))
 	route = append(route, old[:p.Pos+1]...)
 	route = append(route, newSuffix...)
@@ -545,9 +579,13 @@ func (e *Engine) ReplaceRouteSuffix(p *packet.Packet, newSuffix []graph.EdgeID) 
 	p.Reroutes++
 	if e.keyed != nil {
 		// The route change may have altered the packet's selection key
-		// (e.g. RemainingHops under FTG/NTG); rebuild the buffer's heap
-		// lazily before its next send.
-		e.heapDirty[p.CurrentEdge()] = true
+		// (e.g. RemainingHops under FTG/NTG). Instead of rebuilding the
+		// whole buffer's heap (the old O(n) eager scheme), push a fresh
+		// entry for just this packet and leave the old one behind as a
+		// tombstone; popKeyed skips it (see keyed.go).
+		if newKey := e.keyed.SelectionKey(p); newKey != oldKey {
+			e.tombstone(p.CurrentEdge(), keyEntry{key: newKey, seq: p.EnqueueSeq})
+		}
 	}
 	for _, ob := range e.rerObs {
 		ob.OnReroute(e.now, p, old)
@@ -645,15 +683,26 @@ func (e *Engine) CheckConservation() {
 // StepStats accumulates lightweight per-engine hot-path counters so
 // perf regressions are observable from any report: packets sent across
 // edges, transit receives (non-absorbing arrivals), injections
-// admitted (seeds included), keyed-heap rebuilds forced by reroutes,
-// and wall-clock nanoseconds spent inside Step.
+// admitted (seeds included), keyed-heap tombstone activity, and
+// wall-clock nanoseconds spent inside Step.
 type StepStats struct {
-	Steps        int64
-	Sends        int64
-	Receives     int64
-	Injections   int64
-	HeapRebuilds int64
-	Nanos        int64
+	Steps      int64
+	Sends      int64
+	Receives   int64
+	Injections int64
+
+	// HeapSkips counts stale keyed-heap entries (tombstones) discarded
+	// during selection; HeapCompactions counts the amortized rebuilds
+	// triggered when tombstones outnumbered live entries.
+	// HeapRebuilds is the legacy counter from the eager-rebuild scheme
+	// (every reroute forced an O(n) rebuild); it now counts
+	// compactions only, so on reroute-heavy workloads it collapses
+	// from ~one-per-rerouted-buffer-per-step to ~0.
+	HeapSkips       int64
+	HeapCompactions int64
+	HeapRebuilds    int64
+
+	Nanos int64
 }
 
 // NsPerStep returns the mean wall-clock nanoseconds per executed step
@@ -667,8 +716,8 @@ func (s StepStats) NsPerStep() float64 {
 
 // String renders the counters for terminal reports.
 func (s StepStats) String() string {
-	return fmt.Sprintf("steps %d, sends %d, receives %d, injections %d, heap rebuilds %d, %.0f ns/step",
-		s.Steps, s.Sends, s.Receives, s.Injections, s.HeapRebuilds, s.NsPerStep())
+	return fmt.Sprintf("steps %d, sends %d, receives %d, injections %d, heap skips %d, heap compactions %d, %.0f ns/step",
+		s.Steps, s.Sends, s.Receives, s.Injections, s.HeapSkips, s.HeapCompactions, s.NsPerStep())
 }
 
 // Stats returns the accumulated hot-path counters.

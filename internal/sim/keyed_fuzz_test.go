@@ -1,0 +1,130 @@
+// Fuzz harness for keyed-heap / buffer agreement under the tombstone
+// scheme: a byte string drives an arbitrary interleaving of steps,
+// injections and reroutes on a Line graph, executed simultaneously on
+// the keyed fast path and on the brute-force Select reference. Every
+// step the two executions must agree packet-by-packet, and the fast
+// engine's heap must satisfy the lazy-deletion invariant.
+package sim
+
+import (
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+)
+
+// feeder is an adversary fed explicitly by the fuzz driver: it injects
+// whatever was queued since the last step.
+type feeder struct {
+	pending []packet.Injection
+}
+
+func (*feeder) PreStep(*Engine) {}
+func (f *feeder) Inject(*Engine) []packet.Injection {
+	out := f.pending
+	f.pending = nil
+	return out
+}
+
+// nthQueued returns the i-th packet in ForEachQueued order, or nil.
+func nthQueued(e *Engine, i int) *packet.Packet {
+	var found *packet.Packet
+	e.ForEachQueued(func(_ graph.EdgeID, p *packet.Packet) {
+		if i == 0 && found == nil {
+			found = p
+		}
+		i--
+	})
+	return found
+}
+
+func fuzzCompare(t *testing.T, fast, slow *Engine, step int) {
+	t.Helper()
+	g := fast.Graph()
+	if fast.Absorbed() != slow.Absorbed() {
+		t.Fatalf("step %d: absorbed %d (fast) vs %d (slow)", step, fast.Absorbed(), slow.Absorbed())
+	}
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		fq, sq := fast.Queue(graph.EdgeID(eid)), slow.Queue(graph.EdgeID(eid))
+		if fq.Len() != sq.Len() {
+			t.Fatalf("step %d edge %d: queue len %d (fast) vs %d (slow)", step, eid, fq.Len(), sq.Len())
+		}
+		for i := 0; i < fq.Len(); i++ {
+			if fq.At(i).ID != sq.At(i).ID {
+				t.Fatalf("step %d edge %d pos %d: packet %v (fast) vs %v (slow)",
+					step, eid, i, fq.At(i), sq.At(i))
+			}
+		}
+	}
+	verifyHeapInvariant(t, fast)
+}
+
+func FuzzKeyedHeapAgreement(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0})
+	f.Add([]byte{1, 1, 1, 0, 2, 2, 0, 3, 0, 0})
+	f.Add([]byte{0x45, 0x12, 0x00, 0xfe, 0x03, 0x27, 0x00, 0x81, 0x00})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		const nEdges = 6
+		g := graph.Line(nEdges)
+		fastFeed, slowFeed := &feeder{}, &feeder{}
+		fast := New(g, policy.NTG{}, fastFeed)
+		slow := New(g, slowWrap{policy.NTG{}}, slowFeed)
+		step := 0
+		for _, b := range ops {
+			arg := int(b >> 2)
+			switch b & 3 {
+			case 0: // step both engines
+				fast.Step()
+				slow.Step()
+				step++
+				fuzzCompare(t, fast, slow, step)
+			case 1: // queue an identical injection on both
+				start := arg % nEdges
+				end := start + (arg>>3)%(nEdges-start)
+				route := make([]graph.EdgeID, 0, end-start+1)
+				for eid := start; eid <= end; eid++ {
+					route = append(route, graph.EdgeID(eid))
+				}
+				fastFeed.pending = append(fastFeed.pending, packet.Injection{Route: route})
+				slowFeed.pending = append(slowFeed.pending, packet.Injection{Route: route})
+			case 2: // truncate the arg-th queued packet (between steps: legal)
+				fp, sp := nthQueued(fast, arg), nthQueued(slow, arg)
+				if fp == nil {
+					continue
+				}
+				fast.ReplaceRouteSuffix(fp, nil)
+				slow.ReplaceRouteSuffix(sp, nil)
+			case 3: // extend the arg-th queued packet down the line
+				fp, sp := nthQueued(fast, arg), nthQueued(slow, arg)
+				if fp == nil {
+					continue
+				}
+				cur := int(fp.CurrentEdge())
+				end := cur + 1 + (arg>>2)%(nEdges-cur)
+				if end > nEdges-1 {
+					end = nEdges - 1
+				}
+				suffix := make([]graph.EdgeID, 0, end-cur)
+				for eid := cur + 1; eid <= end; eid++ {
+					suffix = append(suffix, graph.EdgeID(eid))
+				}
+				fast.ReplaceRouteSuffix(fp, suffix)
+				slow.ReplaceRouteSuffix(sp, suffix)
+			}
+		}
+		// Drain to empty so absorption totals are final, then check
+		// conservation on both executions.
+		for i := 0; i < 64 && fast.TotalQueued() > 0; i++ {
+			fast.Step()
+			slow.Step()
+			step++
+			fuzzCompare(t, fast, slow, step)
+		}
+		fast.CheckConservation()
+		slow.CheckConservation()
+	})
+}

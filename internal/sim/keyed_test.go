@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -187,4 +189,246 @@ func itoa(n int) string {
 		return "1k"
 	}
 	return "16k"
+}
+
+// verifyHeapInvariant checks the lazy-deletion contract of keyed.go on
+// every edge: each buffered packet has at least one live heap entry
+// carrying its current (SelectionKey, EnqueueSeq), and the per-edge
+// stale counter is an upper bound on the tombstones actually present.
+func verifyHeapInvariant(t *testing.T, e *Engine) {
+	t.Helper()
+	if e.keyed == nil {
+		t.Fatal("engine is not on the keyed fast path")
+	}
+	for eid := range e.heaps {
+		h := e.heaps[eid]
+		buf := &e.buffers[eid]
+		entries := make(map[keyEntry]int, len(h))
+		for _, en := range h {
+			entries[en]++
+		}
+		for i := 0; i < buf.Len(); i++ {
+			p := buf.At(i)
+			want := keyEntry{key: e.keyed.SelectionKey(p), seq: p.EnqueueSeq}
+			if entries[want] == 0 {
+				t.Fatalf("edge %d: buffered packet %v lost its live heap entry %+v", eid, p, want)
+			}
+		}
+		stale := 0
+		for _, en := range h {
+			if i := buf.IndexOfSeq(en.seq); i < 0 || e.keyed.SelectionKey(buf.At(i)) != en.key {
+				stale++
+			}
+		}
+		if stale > e.heapStale[eid] {
+			t.Fatalf("edge %d: %d tombstones in the heap but the stale counter says %d",
+				eid, stale, e.heapStale[eid])
+		}
+	}
+}
+
+// rerouteStorm reroutes `churn` randomly chosen buffered packets every
+// PreStep on a Line graph — replacing each one's remaining route with a
+// random contiguous run along the line (possibly empty: absorb at the
+// current edge's head) — and injects a trickle of fresh multi-hop
+// packets. Decisions depend only on the seeded RNG and on engine state
+// that evolves identically across equivalent engines, so two instances
+// built with equal seeds keep a keyed engine and its brute-force
+// reference in lockstep.
+type rerouteStorm struct {
+	rng   *rand.Rand
+	churn int
+	until int64
+	pkts  []*packet.Packet
+}
+
+func (a *rerouteStorm) PreStep(e *Engine) {
+	a.pkts = a.pkts[:0]
+	e.ForEachQueued(func(_ graph.EdgeID, p *packet.Packet) { a.pkts = append(a.pkts, p) })
+	if len(a.pkts) == 0 {
+		return
+	}
+	n := e.Graph().NumEdges()
+	for i := 0; i < a.churn; i++ {
+		p := a.pkts[a.rng.Intn(len(a.pkts))]
+		// On Line graphs edge IDs ascend along the path, so any
+		// contiguous run starting at the packet's current edge is a
+		// valid simple route.
+		cur := int(p.CurrentEdge())
+		end := cur + a.rng.Intn(n-cur)
+		suffix := make([]graph.EdgeID, 0, end-cur)
+		for eid := cur + 1; eid <= end; eid++ {
+			suffix = append(suffix, graph.EdgeID(eid))
+		}
+		e.ReplaceRouteSuffix(p, suffix)
+	}
+}
+
+func (a *rerouteStorm) Inject(e *Engine) []packet.Injection {
+	if e.Now() > a.until {
+		return nil
+	}
+	n := e.Graph().NumEdges()
+	out := make([]packet.Injection, 0, 2)
+	for i := 0; i < 2; i++ {
+		start := a.rng.Intn(n)
+		end := start + a.rng.Intn(n-start)
+		route := make([]graph.EdgeID, 0, end-start+1)
+		for eid := start; eid <= end; eid++ {
+			route = append(route, graph.EdgeID(eid))
+		}
+		out = append(out, packet.Injection{Route: route})
+	}
+	return out
+}
+
+// TestKeyedTombstoneDifferential is the tentpole harness: the tombstone
+// fast path against the brute-force policy.Select reference under a
+// randomized reroute-heavy workload, for every keyed policy. After
+// every step the two executions must agree packet-by-packet on every
+// buffer, and the fast engine's heap must satisfy the lazy-deletion
+// invariant.
+func TestKeyedTombstoneDifferential(t *testing.T) {
+	keyedPols := []policy.Policy{
+		policy.LIS{}, policy.SIS{}, policy.FTG{}, policy.NTG{}, policy.FFS{}, policy.NFS{},
+	}
+	const steps = 400
+	for _, pol := range keyedPols {
+		for seed := int64(0); seed < 3; seed++ {
+			g := graph.Line(7)
+			mkStorm := func() *rerouteStorm {
+				return &rerouteStorm{rng: rand.New(rand.NewSource(seed)), churn: 3, until: steps - 60}
+			}
+			fast := New(g, pol, mkStorm())
+			slow := New(g, slowWrap{pol}, mkStorm())
+			if fast.keyed == nil || slow.keyed != nil {
+				t.Fatal("fast/slow path mixup")
+			}
+			fast.SeedN(6, packet.Injection{Route: []graph.EdgeID{0, 1, 2}})
+			slow.SeedN(6, packet.Injection{Route: []graph.EdgeID{0, 1, 2}})
+			for step := 1; step <= steps; step++ {
+				fast.Step()
+				slow.Step()
+				if fast.Absorbed() != slow.Absorbed() {
+					t.Fatalf("%s seed %d step %d: absorbed %d (fast) vs %d (slow)",
+						pol.Name(), seed, step, fast.Absorbed(), slow.Absorbed())
+				}
+				for eid := 0; eid < g.NumEdges(); eid++ {
+					fq, sq := fast.Queue(graph.EdgeID(eid)), slow.Queue(graph.EdgeID(eid))
+					if fq.Len() != sq.Len() {
+						t.Fatalf("%s seed %d step %d edge %d: queue len %d (fast) vs %d (slow)",
+							pol.Name(), seed, step, eid, fq.Len(), sq.Len())
+					}
+					for i := 0; i < fq.Len(); i++ {
+						if fq.At(i).ID != sq.At(i).ID {
+							t.Fatalf("%s seed %d step %d edge %d pos %d: packet %v (fast) vs %v (slow)",
+								pol.Name(), seed, step, eid, i, fq.At(i), sq.At(i))
+						}
+					}
+				}
+				verifyHeapInvariant(t, fast)
+			}
+			fast.CheckConservation()
+			slow.CheckConservation()
+			if fast.Stats().HeapRebuilds != fast.Stats().HeapCompactions {
+				t.Errorf("%s seed %d: HeapRebuilds %d != HeapCompactions %d (rebuilds must count compactions only)",
+					pol.Name(), seed, fast.Stats().HeapRebuilds, fast.Stats().HeapCompactions)
+			}
+			// A suffix reroute only changes RemainingHops, so only the
+			// to-go policies ever see a key change — and so tombstones.
+			// For the others the storm must stay tombstone-free.
+			_, toGoFTG := pol.(policy.FTG)
+			_, toGoNTG := pol.(policy.NTG)
+			if st := fast.Stats(); toGoFTG || toGoNTG {
+				if st.HeapSkips == 0 {
+					t.Errorf("%s seed %d: reroute storm produced no tombstone skips; harness is not exercising the lazy path", pol.Name(), seed)
+				}
+			} else if st.HeapSkips != 0 || st.HeapCompactions != 0 {
+				t.Errorf("%s seed %d: reroutes left %d skips / %d compactions though the selection key cannot change",
+					pol.Name(), seed, st.HeapSkips, st.HeapCompactions)
+			}
+		}
+	}
+}
+
+// TestKeyedTombstoneCompaction forces the amortized compaction path
+// deterministically: rerouting the same packet repeatedly in a small
+// buffer must trigger a compaction (tombstones > half the heap) and
+// leave selection correct.
+func TestKeyedTombstoneCompaction(t *testing.T) {
+	g := graph.Line(6)
+	e := New(g, policy.NTG{}, nil)
+	var pkts []*packet.Packet
+	for i := 0; i < 4; i++ {
+		pkts = append(pkts, e.Seed(packet.Injection{Route: []graph.EdgeID{0, 1}}))
+	}
+	victim := pkts[0]
+	// Flip the victim's remaining length repeatedly; every flip changes
+	// the NTG key, stranding one tombstone per reroute.
+	longSuffix := []graph.EdgeID{1, 2, 3, 4}
+	for i := 0; i < 9; i++ {
+		if i%2 == 0 {
+			e.ReplaceRouteSuffix(victim, nil)
+		} else {
+			e.ReplaceRouteSuffix(victim, longSuffix)
+		}
+		verifyHeapInvariant(t, e)
+	}
+	if e.Stats().HeapCompactions == 0 {
+		t.Fatalf("9 reroutes in a 4-packet buffer triggered no compaction (skips %d, heap len %d)",
+			e.Stats().HeapSkips, len(e.heaps[0]))
+	}
+	// The victim ended truncated (route e1 only, 1 remaining hop), so
+	// NTG must send it first despite all the churn.
+	e.Step()
+	if got := e.Absorbed(); got != 1 {
+		t.Fatalf("absorbed %d after one step, want 1 (the truncated victim)", got)
+	}
+	verifyHeapInvariant(t, e)
+}
+
+// rerouteFromInject attempts the documented-illegal reroute from the
+// inject substep.
+type rerouteFromInject struct{}
+
+func (rerouteFromInject) PreStep(*Engine) {}
+func (rerouteFromInject) Inject(e *Engine) []packet.Injection {
+	e.ForEachQueued(func(_ graph.EdgeID, p *packet.Packet) {
+		e.ReplaceRouteSuffix(p, nil)
+	})
+	return nil
+}
+
+// TestRerouteOutsidePreStepPanics pins the inPreStep guard: a reroute
+// from Adversary.Inject would silently poison the tombstone
+// bookkeeping, so the engine must refuse it loudly. Reroutes between
+// steps (equivalent to the next PreStep) must stay legal.
+func TestRerouteOutsidePreStepPanics(t *testing.T) {
+	g := graph.Line(4)
+	e := New(g, policy.NTG{}, rerouteFromInject{})
+	e.Seed(packet.Injection{Route: []graph.EdgeID{0, 1, 2}})
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("reroute from the inject substep did not panic")
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "PreStep") {
+				t.Fatalf("panic %v does not name the PreStep restriction", r)
+			}
+		}()
+		e.Step()
+	}()
+
+	// Between steps the engine is idle and a reroute is equivalent to
+	// one at the next PreStep: must not panic.
+	e2 := New(g, policy.NTG{}, nil)
+	p := e2.Seed(packet.Injection{Route: []graph.EdgeID{0, 1, 2}})
+	e2.Step()
+	e2.ReplaceRouteSuffix(p, nil)
+	e2.Step()
+	if e2.Absorbed() != 1 {
+		t.Fatalf("truncated packet not absorbed; absorbed = %d", e2.Absorbed())
+	}
 }

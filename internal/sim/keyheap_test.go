@@ -1,0 +1,99 @@
+// Property tests for the hand-rolled keyHeap in isolation, against a
+// container/heap reference over the same (key, seq) ordering. Small
+// key/seq ranges force ties and exact duplicates — the shapes the
+// tombstone scheme creates when a reroute restores an earlier key.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap implements heap.Interface with keyHeap's ordering.
+type refHeap []keyEntry
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(keyEntry)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func randEntry(rng *rand.Rand) keyEntry {
+	return keyEntry{key: int64(rng.Intn(6) - 3), seq: int64(rng.Intn(24))}
+}
+
+// TestKeyHeapVsContainerHeap interleaves random pushes and pops and
+// requires the pop sequence to match container/heap exactly, then
+// drains both.
+func TestKeyHeapVsContainerHeap(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var h keyHeap
+		ref := &refHeap{}
+		heap.Init(ref)
+		for op := 0; op < 1500; op++ {
+			if ref.Len() == 0 || rng.Intn(3) != 0 {
+				en := randEntry(rng)
+				h.push(en)
+				heap.Push(ref, en)
+				continue
+			}
+			got, want := h.pop(), heap.Pop(ref).(keyEntry)
+			if got != want {
+				t.Fatalf("seed %d op %d: pop %+v, reference %+v", seed, op, got, want)
+			}
+		}
+		for ref.Len() > 0 {
+			got, want := h.pop(), heap.Pop(ref).(keyEntry)
+			if got != want {
+				t.Fatalf("seed %d drain: pop %+v, reference %+v", seed, got, want)
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("seed %d: keyHeap retains %d entries after drain", seed, len(h))
+		}
+	}
+}
+
+// TestKeyHeapFloydConstruction pins the bottom-up construction used by
+// compactHeap: Floyd-building a heap from an arbitrary entry slice must
+// pop the same sequence as push-building it.
+func TestKeyHeapFloydConstruction(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(64)
+		entries := make([]keyEntry, n)
+		for i := range entries {
+			entries[i] = randEntry(rng)
+		}
+
+		var pushed keyHeap
+		for _, en := range entries {
+			pushed.push(en)
+		}
+		floyd := make(keyHeap, n)
+		copy(floyd, entries)
+		for i := len(floyd)/2 - 1; i >= 0; i-- {
+			floyd.siftDown(i)
+		}
+
+		for i := 0; i < n; i++ {
+			a, b := pushed.pop(), floyd.pop()
+			if a != b {
+				t.Fatalf("seed %d pop %d: push-built %+v, Floyd-built %+v", seed, i, a, b)
+			}
+		}
+	}
+}

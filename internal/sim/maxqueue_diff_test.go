@@ -2,8 +2,8 @@
 // tracking: the old O(E) brute-force scan runs as a reference oracle
 // against the incremental MaxQueued/MaxQueueLen after every step of
 // seeded random (w,r) workloads — including reroutes
-// (ReplaceRouteSuffix/ExtendRoute, which force keyed-heap rebuilds) and
-// absorptions — on the paper's three topology regimes.
+// (ReplaceRouteSuffix/ExtendRoute, which leave keyed-heap tombstones)
+// and absorptions — on the paper's three topology regimes.
 package sim_test
 
 import (

@@ -50,7 +50,14 @@ func (r *Recorder) OnStep(e *Engine) {
 		eid, _ := e.MaxQueueLen()
 		r.peakMax, r.peakEdge = l, eid
 	}
-	if e.Now()%r.Stride != 0 {
+	// Clamp here, not just in NewRecorder: the field doc promises
+	// "Stride <= 1 means every step", so a literal-constructed
+	// Recorder{} must sample every step rather than divide by zero.
+	stride := r.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if e.Now()%stride != 0 {
 		return
 	}
 	r.samples = append(r.samples, Sample{T: e.Now(), TotalQueued: tot, MaxQueueLen: l})

@@ -73,6 +73,33 @@ func TestRecorderDefaultStride(t *testing.T) {
 	}
 }
 
+func TestRecorderZeroValueStride(t *testing.T) {
+	// A literal Recorder{} never went through NewRecorder's stride
+	// default, so OnStep used to divide by zero at e.Now()%r.Stride.
+	// The zero value must behave like stride 1.
+	g := graph.Line(1)
+	rec := &Recorder{}
+	e := New(g, policy.FIFO{}, nil)
+	e.AddObserver(rec)
+	e.SeedN(2, packet.InjNamed(g, "e1"))
+	e.Run(3)
+	if got := len(rec.Samples()); got != 3 {
+		t.Errorf("zero-value Recorder took %d samples, want 3 (stride clamped to 1)", got)
+	}
+	if last := rec.Last(); last.T != 3 {
+		t.Errorf("Last.T = %d, want 3", last.T)
+	}
+	// The clamp must not overwrite the configured stride.
+	strided := &Recorder{Stride: 2}
+	e2 := New(g, policy.FIFO{}, nil)
+	e2.AddObserver(strided)
+	e2.SeedN(2, packet.InjNamed(g, "e1"))
+	e2.Run(4)
+	if got := len(strided.Samples()); got != 2 {
+		t.Errorf("stride-2 Recorder took %d samples, want 2", got)
+	}
+}
+
 func TestAsciiPlotBounds(t *testing.T) {
 	rec := NewRecorder(1)
 	if got := rec.AsciiPlot(1, 1); !strings.Contains(got, "no samples") {

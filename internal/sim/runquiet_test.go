@@ -60,6 +60,80 @@ func TestRunQuietEquivalence(t *testing.T) {
 	}
 }
 
+// TestRunUntilQuietEquivalence pins the observer-free RunUntil fast
+// path (stepCore, batch Nanos accounting) against a manual Step +
+// predicate loop and against RunUntil with an observer attached: same
+// fired flag, same stop time, same Snapshot, same queues — and the
+// observed variant must still dispatch OnStep once per step.
+func TestRunUntilQuietEquivalence(t *testing.T) {
+	const maxSteps = 400
+	pred := func(e *sim.Engine) bool { return e.Absorbed() >= 40 }
+	for _, pol := range []policy.Policy{policy.FIFO{}, policy.NTG{}} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			build := func() *sim.Engine {
+				g := graph.Line(10)
+				adv := adversary.NewRandomWR(g, 18, rational.New(1, 3), 4, 31)
+				e := sim.New(g, pol, adv)
+				e.SeedN(3, packet.Injection{Route: []graph.EdgeID{0, 1}})
+				return e
+			}
+			quiet, manual, observed := build(), build(), build()
+
+			qFired := quiet.RunUntil(pred, maxSteps)
+			mFired := false
+			for i := int64(0); i < maxSteps; i++ {
+				manual.Step()
+				if pred(manual) {
+					mFired = true
+					break
+				}
+			}
+			rec := &stepRecorder{}
+			observed.AddObserver(rec)
+			oFired := observed.RunUntil(pred, maxSteps)
+
+			if qFired != mFired || qFired != oFired {
+				t.Fatalf("fired: quiet %v, manual %v, observed %v", qFired, mFired, oFired)
+			}
+			sq, sm, so := normalize(quiet.Snap()), normalize(manual.Snap()), normalize(observed.Snap())
+			if sq != sm {
+				t.Errorf("quiet RunUntil snapshot %+v != Step-loop snapshot %+v", sq, sm)
+			}
+			if sq != so {
+				t.Errorf("quiet RunUntil snapshot %+v != observed RunUntil snapshot %+v", sq, so)
+			}
+			for eid := 0; eid < quiet.Graph().NumEdges(); eid++ {
+				id := graph.EdgeID(eid)
+				if quiet.QueueLen(id) != manual.QueueLen(id) {
+					t.Fatalf("edge %d: quiet queue %d != manual queue %d",
+						eid, quiet.QueueLen(id), manual.QueueLen(id))
+				}
+			}
+			if int64(len(rec.times)) != observed.Now() {
+				t.Errorf("observed RunUntil dispatched OnStep %d times over %d steps",
+					len(rec.times), observed.Now())
+			}
+			// The fast path must still account wall time in StepStats.
+			if quiet.Snap().Stats.Nanos <= 0 {
+				t.Error("quiet RunUntil recorded no Nanos")
+			}
+		})
+	}
+}
+
+// TestRunUntilExhaustsBudget covers the pred-never-fires branch of the
+// quiet fast path: exactly maxSteps are taken and false is returned.
+func TestRunUntilExhaustsBudget(t *testing.T) {
+	g := graph.Line(4)
+	e := sim.New(g, policy.FIFO{}, adversary.NewRandomWR(g, 8, rational.New(1, 2), 3, 3))
+	if e.RunUntil(func(*sim.Engine) bool { return false }, 57) {
+		t.Error("RunUntil fired with an always-false predicate")
+	}
+	if e.Now() != 57 {
+		t.Errorf("RunUntil took %d steps, want 57", e.Now())
+	}
+}
+
 // stepRecorder records the engine time at every OnStep dispatch.
 type stepRecorder struct {
 	times []int64

@@ -29,9 +29,18 @@ func ThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi rational.Rat,
 	// Ceil the lower endpoint: flooring an off-grid lo would probe a
 	// rate strictly below lo, breaking the documented (lo, hi]
 	// contract (and potentially returning a rate the caller already
-	// knows to be stable territory).
+	// knows to be stable territory). Symmetrically, floor the upper
+	// endpoint: ceiling an off-grid hi would probe a rate strictly
+	// above it, and a divergence first seen there would be reported
+	// from outside (lo, hi].
 	loI := toGrid(lo, true)
-	hiI := toGrid(hi, true)
+	hiI := toGrid(hi, false)
+	if hiI < loI {
+		// No grid point lands inside [lo, hi] at this resolution, so
+		// nothing can diverge on the grid; report "just above hi"
+		// without probing outside the interval.
+		return rational.New(hiI+1, den)
+	}
 	diverges := func(i int64) bool {
 		return probe(rational.New(i, den)) == Diverging
 	}

@@ -72,6 +72,65 @@ func TestThresholdSearchOffGridLo(t *testing.T) {
 	}
 }
 
+func TestThresholdSearchOffGridHi(t *testing.T) {
+	// hi = 2/3 is off the dyadic grid (bits=3, den=8). Ceiling the
+	// upper grid point would probe 6/8 = 3/4 > hi; with a probe that
+	// diverges only above hi, the search would then report 3/4 as a
+	// threshold inside (lo, hi] — an interval that is in fact stable
+	// throughout. Flooring to 5/8 keeps every probe inside [lo, hi]
+	// and yields the "stable everywhere" verdict (a result > hi).
+	lo, hi := rational.New(1, 8), rational.New(2, 3)
+	var probed []rational.Rat
+	probe := func(r rational.Rat) Verdict {
+		probed = append(probed, r)
+		if r.Cmp(rational.New(3, 4)) >= 0 {
+			return Diverging
+		}
+		return Stable
+	}
+	got := ThresholdSearch(probe, lo, hi, 3)
+	if !hi.Less(got) {
+		t.Errorf("threshold = %v, want > hi %v (no divergence inside the interval)", got, hi)
+	}
+	for _, r := range probed {
+		if hi.Less(r) {
+			t.Errorf("probed rate %v above hi %v", r, hi)
+		}
+	}
+}
+
+func TestThresholdSearchOffGridHiDivergence(t *testing.T) {
+	// Same off-grid hi, but with a real threshold at 1/2: the result
+	// must be unaffected by how the endpoint is snapped.
+	lo, hi := rational.New(1, 8), rational.New(2, 3)
+	probe := func(r rational.Rat) Verdict {
+		if r.Cmp(rational.New(1, 2)) >= 0 {
+			return Diverging
+		}
+		return Stable
+	}
+	if got := ThresholdSearch(probe, lo, hi, 3); !got.Eq(rational.New(1, 2)) {
+		t.Errorf("threshold = %v, want 1/2", got)
+	}
+}
+
+func TestThresholdSearchNoGridPointInRange(t *testing.T) {
+	// (3/10, 2/5) contains no multiple of 1/2: after snapping, the
+	// grid interval is empty. The search must return "just above hi"
+	// without a single probe — probing outside [lo, hi] is exactly
+	// what endpoint snapping is meant to prevent.
+	calls := 0
+	probe := func(rational.Rat) Verdict { calls++; return Diverging }
+	lo, hi := rational.New(3, 10), rational.New(2, 5)
+	got := ThresholdSearch(probe, lo, hi, 1)
+	if calls != 0 {
+		t.Errorf("probe called %d times on an empty grid", calls)
+	}
+	if !hi.Less(got) {
+		t.Errorf("threshold = %v, want > hi %v", got, hi)
+	}
+}
+
 func TestThresholdSearchPanics(t *testing.T) {
 	probe := func(rational.Rat) Verdict { return Stable }
 	for name, f := range map[string]func(){
