@@ -1,11 +1,13 @@
 # Developer entry points. `make verify` is the CI gate: tier-1
 # (build + full tests) plus vet and the race detector over the engine,
 # adversary and buffer hot paths — the packages the incremental
-# max-queue and timestamp-ring bookkeeping live in.
+# max-queue and timestamp-ring bookkeeping live in — and over the
+# parallel probe layer (stability.SweepGrid / ParallelThresholdSearch)
+# and the experiment runners that fan out through it.
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke fuzz
 
 verify: test vet race
 
@@ -17,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/...
+	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/... ./internal/stability/... ./internal/expt/...
 
 # Emit a BENCH_<LABEL>.json trajectory point (default label: git short hash).
 LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
@@ -29,6 +31,13 @@ bench:
 AGAINST ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-diff:
 	$(GO) run ./cmd/bench -against $(AGAINST)
+
+# Quick end-to-end pass over both cmd/sweep modes at full fan-out —
+# the same configurations cmd/sweep's golden tests pin byte-identical
+# across -workers settings.
+sweep-smoke:
+	$(GO) run ./cmd/sweep -n 6 -from 0.5 -to 0.8 -points 7 -scap 800 -workers 0
+	$(GO) run ./cmd/sweep -rate 0.7 -depths 3,4,6 -scap 800 -workers 0
 
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary

@@ -24,6 +24,9 @@ func Diff(prev, cur Report, nsTol float64) (string, bool) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "bench diff: %s vs %s (fail on >%.0f%% ns/op or any allocs/op increase)\n",
 		labelOr(cur.Label, "current"), labelOr(prev.Label, "previous"), nsTol*100)
+	if cur.Count > 1 {
+		fmt.Fprintf(&b, "current entries are medians of %d runs\n", cur.Count)
+	}
 	fmt.Fprintf(&b, "%-28s %12s %12s %8s %8s %8s  %s\n",
 		"name", "prev ns/op", "cur ns/op", "ns Δ", "allocs", "allocs'", "verdict")
 

@@ -27,6 +27,7 @@ func fixtureReports() (Report, Report) {
 	}
 	cur := Report{
 		Label: "pr2",
+		Count: 5,
 		Entries: []Entry{
 			{Name: "Step/Line32/FIFO", NsPerOp: 1800, AllocsPerOp: 0},          // improved
 			{Name: "Step/Line32/LIS", NsPerOp: 3240, AllocsPerOp: 4},           // +8%: within tolerance

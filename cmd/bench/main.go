@@ -8,14 +8,22 @@
 //	bench                           # JSON to stdout
 //	bench -label pr1                # write BENCH_pr1.json
 //	bench -against BENCH_prev.json  # run, diff, exit 1 on regression
+//	bench -count 9                  # 9 runs per entry, medians recorded
 //
 // The configurations mirror BenchmarkStep in internal/sim: policies
 // FIFO (ring-deque pop-front), LIS and NTG (keyed-heap fast path)
 // crossed with Line(32), Ring(16) and the G_ε instability graph, under
 // sustained random (w,r) traffic, plus the pure drain regime of a
-// large seeded FIFO buffer and the Recorder-observed variants
+// large seeded FIFO buffer, the Recorder-observed variants
 // (Line 32/256, stride 1) that exercise the incremental max-queue
-// observation path.
+// observation path, and the SweepParallel pair (a 7-point rate sweep
+// run sequentially vs. fanned across the stability.SweepGrid worker
+// pool — the parallel entry's ns/op divides by ~min(7, GOMAXPROCS) on
+// a multicore machine).
+//
+// Every entry is measured -count times (default 5) and the median run
+// (by ns/op) is recorded, so a single noisy run on a loaded machine
+// neither pollutes the trajectory nor trips the -against gate.
 //
 // -against is the CI diff mode: entries are matched by name against a
 // previous report and the command exits nonzero when ns/op grew by
@@ -28,16 +36,19 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"aqt/internal/adversary"
+	"aqt/internal/baselines"
 	"aqt/internal/gadget"
 	"aqt/internal/graph"
 	"aqt/internal/packet"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
 	"aqt/internal/sim"
+	"aqt/internal/stability"
 )
 
 // Entry is one benchmark result row.
@@ -54,12 +65,22 @@ type Entry struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	Label     string  `json:"label"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	Timestamp string  `json:"timestamp"`
-	Entries   []Entry `json:"entries"`
+	Label     string `json:"label"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Timestamp string `json:"timestamp"`
+	// Count is the number of runs behind each entry; entries record
+	// the median run by ns/op (0 or 1 = single runs, pre-PR4 reports).
+	Count   int     `json:"count,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+// benchSpec is one named benchmark configuration; run executes it once
+// from scratch.
+type benchSpec struct {
+	name string
+	run  func() (testing.BenchmarkResult, sim.StepStats)
 }
 
 func main() {
@@ -67,18 +88,11 @@ func main() {
 	out := flag.String("o", "", "output path (\"-\" or empty = stdout unless -label is set)")
 	against := flag.String("against", "", "previous BENCH_*.json to diff against; exits 1 on regression")
 	tol := flag.Float64("tol", DefaultNsTolerance, "relative ns/op increase tolerated in -against mode")
+	count := flag.Int("count", 5, "runs per entry; the median run by ns/op is recorded")
 	flag.Parse()
-
-	topos := []struct {
-		name   string
-		build  func() *graph.Graph
-		maxLen int
-	}{
-		{"Line32", func() *graph.Graph { return graph.Line(32) }, 4},
-		{"Ring16", func() *graph.Graph { return graph.Ring(16) }, 4},
-		{"Geps", func() *graph.Graph { return gadget.NewChain(3, 3, true).G }, 5},
+	if *count < 1 {
+		*count = 1
 	}
-	policies := []policy.Policy{policy.FIFO{}, policy.LIS{}, policy.NTG{}}
 
 	rep := Report{
 		Label:     *label,
@@ -86,109 +100,14 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Count:     *count,
 	}
 
-	for _, tp := range topos {
-		for _, pol := range policies {
-			name := fmt.Sprintf("Step/%s/%s", tp.name, pol.Name())
-			var eng *sim.Engine
-			res := testing.Benchmark(func(b *testing.B) {
-				g := tp.build()
-				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), tp.maxLen, 7)
-				eng = sim.New(g, pol, adv)
-				eng.Run(256)
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					eng.Step()
-				}
-			})
-			rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
-			fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
-				name, float64(res.NsPerOp()), res.AllocsPerOp())
-		}
-	}
-
-	// The Lemma 3.3 reroute regime: to-go policies under sustained
-	// route replacement at a gadget ingress. This is the workload the
-	// keyed-heap tombstone scheme exists for — the eager rebuild paid
-	// O(S) per reroute here.
-	for _, pol := range []policy.Policy{policy.NTG{}, policy.FTG{}} {
-		for _, s := range []int{1 << 10, 1 << 13} {
-			name := fmt.Sprintf("StepReroute/Geps/%s/S=%d", pol.Name(), s)
-			var eng *sim.Engine
-			res := testing.Benchmark(func(b *testing.B) {
-				c := gadget.NewChain(3, 2, false)
-				full := c.LongRoute(1)
-				mk := func() *sim.Engine {
-					e := sim.New(c.G, pol, &rerouteChurn{full: full, touch: 8})
-					e.SeedN(s, packet.Inj(full...))
-					return e
-				}
-				eng = mk()
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if eng.Queue(full[0]).Len() < s/2 {
-						b.StopTimer()
-						eng = mk()
-						b.StartTimer()
-					}
-					eng.Step()
-				}
-			})
-			rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
-			fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
-				name, float64(res.NsPerOp()), res.AllocsPerOp())
-		}
-	}
-
-	for _, s := range []int{1 << 10, 1 << 14} {
-		name := fmt.Sprintf("StepSeededFIFO/S=%d", s)
-		g := graph.Line(8)
-		route := []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")}
-		var eng *sim.Engine
-		res := testing.Benchmark(func(b *testing.B) {
-			eng = sim.New(g, policy.FIFO{}, nil)
-			eng.SeedN(s, packet.Inj(route...))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if eng.TotalQueued() == 0 {
-					b.StopTimer()
-					eng = sim.New(g, policy.FIFO{}, nil)
-					eng.SeedN(s, packet.Inj(route...))
-					b.StartTimer()
-				}
-				eng.Step()
-			}
-		})
-		rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
+	for _, sp := range specs() {
+		med := median(sp, *count)
+		rep.Entries = append(rep.Entries, med)
 		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
-			name, float64(res.NsPerOp()), res.AllocsPerOp())
-	}
-
-	// The Recorder-observed path: stride-1 peak tracking on Line(32)
-	// and Line(256). Before the incremental max these scaled per-step
-	// cost with edge count; the Line256 row pins that they no longer do.
-	for _, n := range []int{32, 256} {
-		name := fmt.Sprintf("StepRecorded/Line%d/FIFO", n)
-		var eng *sim.Engine
-		res := testing.Benchmark(func(b *testing.B) {
-			g := graph.Line(n)
-			adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
-			eng = sim.New(g, policy.FIFO{}, adv)
-			eng.AddObserver(sim.NewRecorder(1))
-			eng.Run(256)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				eng.Step()
-			}
-		})
-		rep.Entries = append(rep.Entries, entry(name, res, eng.Stats()))
-		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %6d allocs/op\n",
-			name, float64(res.NsPerOp()), res.AllocsPerOp())
+			med.Name, med.NsPerOp, med.AllocsPerOp)
 	}
 
 	path := *out
@@ -233,6 +152,186 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// median runs the spec count times and returns the median run by
+// ns/op (the lower median for even counts), so one descheduled run on
+// a loaded machine cannot skew the recorded trajectory point.
+func median(sp benchSpec, count int) Entry {
+	entries := make([]Entry, count)
+	for i := range entries {
+		res, st := sp.run()
+		entries[i] = entry(sp.name, res, st)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].NsPerOp < entries[j].NsPerOp })
+	return entries[(count-1)/2]
+}
+
+// specs assembles every benchmark configuration.
+func specs() []benchSpec {
+	var out []benchSpec
+
+	topos := []struct {
+		name   string
+		build  func() *graph.Graph
+		maxLen int
+	}{
+		{"Line32", func() *graph.Graph { return graph.Line(32) }, 4},
+		{"Ring16", func() *graph.Graph { return graph.Ring(16) }, 4},
+		{"Geps", func() *graph.Graph { return gadget.NewChain(3, 3, true).G }, 5},
+	}
+	for _, tp := range topos {
+		for _, pol := range []policy.Policy{policy.FIFO{}, policy.LIS{}, policy.NTG{}} {
+			tp, pol := tp, pol
+			out = append(out, benchSpec{
+				name: fmt.Sprintf("Step/%s/%s", tp.name, pol.Name()),
+				run: func() (testing.BenchmarkResult, sim.StepStats) {
+					var eng *sim.Engine
+					res := testing.Benchmark(func(b *testing.B) {
+						g := tp.build()
+						adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), tp.maxLen, 7)
+						eng = sim.New(g, pol, adv)
+						eng.Run(256)
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							eng.Step()
+						}
+					})
+					return res, eng.Stats()
+				},
+			})
+		}
+	}
+
+	// The Lemma 3.3 reroute regime: to-go policies under sustained
+	// route replacement at a gadget ingress. This is the workload the
+	// keyed-heap tombstone scheme exists for — the eager rebuild paid
+	// O(S) per reroute here.
+	for _, pol := range []policy.Policy{policy.NTG{}, policy.FTG{}} {
+		for _, s := range []int{1 << 10, 1 << 13} {
+			pol, s := pol, s
+			out = append(out, benchSpec{
+				name: fmt.Sprintf("StepReroute/Geps/%s/S=%d", pol.Name(), s),
+				run: func() (testing.BenchmarkResult, sim.StepStats) {
+					var eng *sim.Engine
+					res := testing.Benchmark(func(b *testing.B) {
+						c := gadget.NewChain(3, 2, false)
+						full := c.LongRoute(1)
+						mk := func() *sim.Engine {
+							e := sim.New(c.G, pol, &rerouteChurn{full: full, touch: 8})
+							e.SeedN(s, packet.Inj(full...))
+							return e
+						}
+						eng = mk()
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if eng.Queue(full[0]).Len() < s/2 {
+								b.StopTimer()
+								eng = mk()
+								b.StartTimer()
+							}
+							eng.Step()
+						}
+					})
+					return res, eng.Stats()
+				},
+			})
+		}
+	}
+
+	for _, s := range []int{1 << 10, 1 << 14} {
+		s := s
+		out = append(out, benchSpec{
+			name: fmt.Sprintf("StepSeededFIFO/S=%d", s),
+			run: func() (testing.BenchmarkResult, sim.StepStats) {
+				g := graph.Line(8)
+				route := []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")}
+				var eng *sim.Engine
+				res := testing.Benchmark(func(b *testing.B) {
+					eng = sim.New(g, policy.FIFO{}, nil)
+					eng.SeedN(s, packet.Inj(route...))
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if eng.TotalQueued() == 0 {
+							b.StopTimer()
+							eng = sim.New(g, policy.FIFO{}, nil)
+							eng.SeedN(s, packet.Inj(route...))
+							b.StartTimer()
+						}
+						eng.Step()
+					}
+				})
+				return res, eng.Stats()
+			},
+		})
+	}
+
+	// The Recorder-observed path: stride-1 peak tracking on Line(32)
+	// and Line(256). Before the incremental max these scaled per-step
+	// cost with edge count; the Line256 row pins that they no longer do.
+	for _, n := range []int{32, 256} {
+		n := n
+		out = append(out, benchSpec{
+			name: fmt.Sprintf("StepRecorded/Line%d/FIFO", n),
+			run: func() (testing.BenchmarkResult, sim.StepStats) {
+				var eng *sim.Engine
+				res := testing.Benchmark(func(b *testing.B) {
+					g := graph.Line(n)
+					adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+					eng = sim.New(g, policy.FIFO{}, adv)
+					eng.AddObserver(sim.NewRecorder(1))
+					eng.Run(256)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						eng.Step()
+					}
+				})
+				return res, eng.Stats()
+			},
+		})
+	}
+
+	// BenchmarkSweepParallel: the PR4 parallel probe layer on a 7-point
+	// rate grid (depth 6, capped pumps) — sequential pool vs. GOMAXPROCS
+	// fan-out. One op is the whole sweep; engines are per-probe, so the
+	// parallel entry's wall-clock divides by ~min(7, GOMAXPROCS) on a
+	// multicore machine and matches the sequential one at GOMAXPROCS=1.
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"SweepParallel/Rate7/seq", 1}, {"SweepParallel/Rate7/par", 0}} {
+		cfg := cfg
+		out = append(out, benchSpec{
+			name: cfg.name,
+			run: func() (testing.BenchmarkResult, sim.StepStats) {
+				pts := sweepGridPoints()
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						baselines.PumpGrid(pts, 400, cfg.workers)
+					}
+				})
+				return res, sim.StepStats{}
+			},
+		})
+	}
+
+	return out
+}
+
+// sweepGridPoints is the 7-point rate grid of the SweepParallel pair:
+// r = 0.5 .. 0.8 at depth 6, the cmd/sweep default shape.
+func sweepGridPoints() []stability.Point {
+	pts := make([]stability.Point, 7)
+	for i := range pts {
+		f := 0.5 + 0.3*float64(i)/6
+		pts[i] = stability.Point{Rate: rational.FromFloat(f, 4096), Depth: 6}
+	}
+	return pts
 }
 
 // rerouteChurn mirrors the adversary of BenchmarkStepReroute in

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"aqt/internal/sim"
+)
+
+// fakeSpec returns a benchSpec whose successive runs report the given
+// ns/op values in order.
+func fakeSpec(ns ...int64) benchSpec {
+	i := 0
+	return benchSpec{
+		name: "fake",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			res := testing.BenchmarkResult{N: 1, T: time.Duration(ns[i])}
+			i++
+			return res, sim.StepStats{}
+		},
+	}
+}
+
+// TestMedianPicksMiddleRun pins the -count aggregation: the recorded
+// entry is the median run by ns/op (lower median for even counts), so
+// a single outlier on a loaded machine cannot move the trajectory.
+func TestMedianPicksMiddleRun(t *testing.T) {
+	cases := []struct {
+		name  string
+		runs  []int64
+		count int
+		want  float64
+	}{
+		{"odd count takes middle", []int64{900, 100000, 1000}, 3, 1000},
+		{"single run passes through", []int64{1234}, 1, 1234},
+		{"even count takes lower median", []int64{400, 100, 300, 200}, 4, 200},
+		{"outlier discarded", []int64{1000, 1001, 999, 50000, 998}, 5, 1000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := median(fakeSpec(c.runs...), c.count)
+			if got.NsPerOp != c.want {
+				t.Errorf("median ns/op = %v, want %v", got.NsPerOp, c.want)
+			}
+			if got.Name != "fake" {
+				t.Errorf("median entry name = %q", got.Name)
+			}
+		})
+	}
+}

@@ -4,9 +4,15 @@
 // floor(w·r) steps (Theorem 4.1 for arbitrary greedy policies at
 // r ≤ 1/(d+1); Theorem 4.3 for time-priority policies at r ≤ 1/d).
 //
+// Each (theorem, policy) check is an independent simulation, so the
+// checks fan out across a stability.SweepGrid worker pool: every probe
+// builds its own topology, engine and adversary (per-worker engine
+// ownership — nothing is shared), and results print in the fixed
+// theorem/policy order whatever -workers is.
+//
 // Usage:
 //
-//	stabilitycheck -d 3 -w 40 -steps 20000 [-topo complete -size 5]
+//	stabilitycheck -d 3 -w 40 -steps 20000 [-topo complete -size 5] [-workers 8]
 package main
 
 import (
@@ -17,7 +23,7 @@ import (
 	"aqt/internal/adversary"
 	"aqt/internal/graph"
 	"aqt/internal/policy"
-	"aqt/internal/sim"
+	"aqt/internal/rational"
 	"aqt/internal/stability"
 )
 
@@ -28,44 +34,61 @@ func main() {
 	topo := flag.String("topo", "complete", "topology: complete|ring|grid")
 	size := flag.Int("size", 0, "topology size (0 = d+2)")
 	seed := flag.Int64("seed", 7, "adversary seed")
+	workers := flag.Int("workers", 0, "check worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sz := *size
 	if sz == 0 {
 		sz = *d + 2
 	}
-	var g *graph.Graph
-	switch *topo {
-	case "complete":
-		g = graph.Complete(sz)
-	case "ring":
-		g = graph.Ring(sz)
-	case "grid":
-		g = graph.Grid(sz, sz)
-	default:
+	build, ok := map[string]func(int) *graph.Graph{
+		"complete": graph.Complete,
+		"ring":     graph.Ring,
+		"grid":     func(n int) *graph.Graph { return graph.Grid(n, n) },
+	}[*topo]
+	if !ok {
 		fmt.Fprintf(os.Stderr, "stabilitycheck: unknown topology %q\n", *topo)
 		os.Exit(2)
 	}
 
-	fail := 0
-	fmt.Printf("Theorem 4.1 — every greedy policy at r = 1/(d+1) = 1/%d:\n", *d+1)
-	rate := stability.GreedyRateBound(*d)
+	// One check per (rate regime, policy); greedy checks first, then
+	// the tighter time-priority pair, exactly as they print.
+	type check struct {
+		pol  policy.Policy
+		rate rational.Rat
+		seed int64
+	}
+	greedyRate := stability.GreedyRateBound(*d)
+	tpRate := stability.TimePriorityRateBound(*d)
+	var checks []check
 	for _, pol := range policy.All() {
-		adv := adversary.NewRandomWR(g, *w, rate, *d, *seed)
-		res := stability.CheckResidence(g, pol, sim.Adversary(adv), *w, rate, *d, *steps)
-		fmt.Printf("  %s\n", res)
-		if !res.OK() {
-			fail++
-		}
+		checks = append(checks, check{pol, greedyRate, *seed})
+	}
+	nGreedy := len(checks)
+	for _, pol := range []policy.Policy{policy.FIFO{}, policy.LIS{}} {
+		checks = append(checks, check{pol, tpRate, *seed + 1})
 	}
 
-	fmt.Printf("\nTheorem 4.3 — time-priority policies at r = 1/d = 1/%d:\n", *d)
-	rate = stability.TimePriorityRateBound(*d)
-	for _, pol := range []policy.Policy{policy.FIFO{}, policy.LIS{}} {
-		adv := adversary.NewRandomWR(g, *w, rate, *d, *seed+1)
-		res := stability.CheckResidence(g, pol, adv, *w, rate, *d, *steps)
-		fmt.Printf("  %s\n", res)
-		if !res.OK() {
+	results := stability.SweepGrid(checks, func(c check) stability.ResidenceResult {
+		// Built inside the probe: the graph, adversary and engine stay
+		// confined to the worker that runs this check.
+		g := build(sz)
+		adv := adversary.NewRandomWR(g, *w, c.rate, *d, c.seed)
+		return stability.CheckResidence(g, c.pol, adv, *w, c.rate, *d, *steps)
+	}, *workers)
+
+	fail := 0
+	fmt.Printf("Theorem 4.1 — every greedy policy at r = 1/(d+1) = 1/%d:\n", *d+1)
+	for i, r := range results {
+		if i == nGreedy {
+			fmt.Printf("\nTheorem 4.3 — time-priority policies at r = 1/d = 1/%d:\n", *d)
+		}
+		if r.Panic != "" {
+			fmt.Fprintf(os.Stderr, "stabilitycheck: %s check panicked: %s\n", r.Point.pol.Name(), r.Panic)
+			os.Exit(2)
+		}
+		fmt.Printf("  %s\n", r.Value)
+		if !r.Value.OK() {
 			fail++
 		}
 	}

@@ -4,62 +4,97 @@
 // which exceeds 1 exactly when rⁿ < 2r − 1, and approaches 2r as
 // n → ∞, so arbitrarily small ε = r − 1/2 suffices with deep chains.
 //
+// Every grid point is an independent simulation, so the sweep fans its
+// probes across a worker pool (baselines.PumpGrid): a 7-point rate
+// sweep costs about one probe's wall-clock on enough cores. Output is
+// byte-identical at any -workers value — results are ordered by grid
+// index, never by completion.
+//
 // Usage:
 //
-//	sweep -n 9 -from 0.5 -to 0.8 -points 7 [-scap 2000]
+//	sweep -n 9 -from 0.5 -to 0.8 -points 7 [-scap 2000] [-workers 8]
 //	sweep -rate 0.7 -depths 3,4,6,9,12
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"aqt/internal/baselines"
 	"aqt/internal/rational"
+	"aqt/internal/stability"
 )
 
 func main() {
-	n := flag.Int("n", 9, "gadget depth for the rate sweep")
-	from := flag.Float64("from", 0.5, "rate sweep start")
-	to := flag.Float64("to", 0.8, "rate sweep end")
-	points := flag.Int("points", 7, "rate sweep points")
-	rate := flag.Float64("rate", 0, "fixed rate for a depth sweep (0 = rate sweep mode)")
-	depths := flag.String("depths", "3,4,6,9,12", "depths for the depth sweep")
-	sCap := flag.Int64("scap", 3000, "cap on the pump size S")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the determinism tests
+// can compare -workers configurations without spawning processes.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	n := fs.Int("n", 9, "gadget depth for the rate sweep")
+	from := fs.Float64("from", 0.5, "rate sweep start")
+	to := fs.Float64("to", 0.8, "rate sweep end")
+	points := fs.Int("points", 7, "rate sweep points")
+	rate := fs.Float64("rate", 0, "fixed rate for a depth sweep (0 = rate sweep mode)")
+	depths := fs.String("depths", "3,4,6,9,12", "depths for the depth sweep")
+	sCap := fs.Int64("scap", 3000, "cap on the pump size S")
+	workers := fs.Int("workers", 0, "probe worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *rate > 0 {
 		r := rational.FromFloat(*rate, 4096)
-		fmt.Printf("depth sweep at r = %v:\n", r)
-		fmt.Printf("%6s %10s %8s %8s %8s %8s\n", "n", "r*(n)", "S", "S'", "growth", "pumps")
+		var pts []stability.Point
 		for _, ds := range strings.Split(*depths, ",") {
 			d, err := strconv.Atoi(strings.TrimSpace(ds))
 			if err != nil || d < 1 {
-				fmt.Fprintf(os.Stderr, "sweep: bad depth %q\n", ds)
-				os.Exit(2)
+				fmt.Fprintf(errw, "sweep: bad depth %q\n", ds)
+				return 2
 			}
-			res := baselines.RunDepthPump(r, d, *sCap)
-			thr := baselines.DepthThreshold(d, 20)
-			fmt.Printf("%6d %10.4f %8d %8d %8.4f %8v\n",
-				d, thr.Float(), res.S, res.Measured, float64(res.Measured)/float64(res.S), res.Pumped())
+			pts = append(pts, stability.Point{Rate: r, Depth: d})
 		}
-		return
+		fmt.Fprintf(out, "depth sweep at r = %v:\n", r)
+		fmt.Fprintf(out, "%6s %10s %8s %8s %8s %8s\n", "n", "r*(n)", "S", "S'", "growth", "pumps")
+		for _, gr := range baselines.PumpGrid(pts, *sCap, *workers) {
+			if gr.Panic != "" {
+				fmt.Fprintf(errw, "sweep: probe %v panicked: %s\n", gr.Point, gr.Panic)
+				return 1
+			}
+			res := gr.Value
+			thr := baselines.DepthThreshold(gr.Point.Depth, 20)
+			fmt.Fprintf(out, "%6d %10.4f %8d %8d %8.4f %8v\n",
+				gr.Point.Depth, thr.Float(), res.S, res.Measured, float64(res.Measured)/float64(res.S), res.Pumped())
+		}
+		return 0
 	}
 
-	fmt.Printf("rate sweep at depth n = %d (threshold r*(%d) = %.4f):\n",
-		*n, *n, baselines.DepthThreshold(*n, 20).Float())
-	fmt.Printf("%8s %8s %8s %8s %8s\n", "r", "S", "S'", "growth", "pumps")
-	for i := 0; i < *points; i++ {
+	pts := make([]stability.Point, *points)
+	for i := range pts {
 		f := *from
 		if *points > 1 {
 			f += (*to - *from) * float64(i) / float64(*points-1)
 		}
-		r := rational.FromFloat(f, 4096)
-		res := baselines.RunDepthPump(r, *n, *sCap)
-		fmt.Printf("%8.4f %8d %8d %8.4f %8v\n",
-			r.Float(), res.S, res.Measured, float64(res.Measured)/float64(res.S), res.Pumped())
+		pts[i] = stability.Point{Rate: rational.FromFloat(f, 4096), Depth: *n}
 	}
+	fmt.Fprintf(out, "rate sweep at depth n = %d (threshold r*(%d) = %.4f):\n",
+		*n, *n, baselines.DepthThreshold(*n, 20).Float())
+	fmt.Fprintf(out, "%8s %8s %8s %8s %8s\n", "r", "S", "S'", "growth", "pumps")
+	for _, gr := range baselines.PumpGrid(pts, *sCap, *workers) {
+		if gr.Panic != "" {
+			fmt.Fprintf(errw, "sweep: probe %v panicked: %s\n", gr.Point, gr.Panic)
+			return 1
+		}
+		res := gr.Value
+		fmt.Fprintf(out, "%8.4f %8d %8d %8.4f %8v\n",
+			gr.Point.Rate.Float(), res.S, res.Measured, float64(res.Measured)/float64(res.S), res.Pumped())
+	}
+	return 0
 }

@@ -36,6 +36,7 @@ import (
 	"aqt/internal/policy"
 	"aqt/internal/rational"
 	"aqt/internal/sim"
+	"aqt/internal/stability"
 )
 
 // PumpsAtDepth reports whether a depth-n pipeline pumps at rate r,
@@ -128,6 +129,18 @@ func RunDepthPump(r rational.Rat, n int, sCap int64) DepthPumpResult {
 		Measured:   rep.SMeasured,
 		ShouldPump: PumpsAtDepth(r, n),
 	}
+}
+
+// PumpGrid runs RunDepthPump at every (rate, depth) probe point across
+// a stability.SweepGrid worker pool (workers <= 0 means GOMAXPROCS).
+// Each probe builds its own chain, engine and adversary — workers never
+// share simulator state — and results come back in input order, so a
+// sweep's output is identical at any worker count. A probe that panics
+// reports it in its own GridResult instead of sinking the sweep.
+func PumpGrid(points []stability.Point, sCap int64, workers int) []stability.GridResult[stability.Point, DepthPumpResult] {
+	return stability.SweepGrid(points, func(p stability.Point) DepthPumpResult {
+		return RunDepthPump(p.Rate, p.Depth, sCap)
+	}, workers)
 }
 
 // LadderScenario is the B2 starvation workload: a directed rail of L

@@ -11,6 +11,7 @@ import (
 	"aqt/internal/policy"
 	"aqt/internal/rational"
 	"aqt/internal/sim"
+	"aqt/internal/stability"
 )
 
 // E1Theorem317 reproduces the headline result: FIFO on G_ε at rate
@@ -29,12 +30,29 @@ func E1Theorem317(q Quick) *Table {
 		epsList = []rational.Rat{rational.New(1, 4)}
 		cycles = 2
 	}
-	for _, eps := range epsList {
+	// Each ε owns a full G_ε construction (its own chain, engine and
+	// controllers), so the ε runs fan out across a worker pool; rows
+	// are assembled in epsList order, keeping the table byte-identical
+	// to a sequential run.
+	type e1Run struct {
+		ins  *core.Instability
+		done int
+	}
+	runs := stability.SweepGrid(epsList, func(eps rational.Rat) e1Run {
 		ins := core.NewInstability(eps, InstabilityOpts(q))
-		done := ins.RunCycles(cycles)
-		if done != cycles {
+		return e1Run{ins: ins, done: ins.RunCycles(cycles)}
+	}, 0)
+	for i, gr := range runs {
+		eps := epsList[i]
+		if gr.Panic != "" {
 			t.OK = false
-			t.AddNote("eps=%v: only %d/%d cycles completed", eps, done, cycles)
+			t.AddNote("eps=%v: run panicked: %s", eps, gr.Panic)
+			continue
+		}
+		ins := gr.Value.ins
+		if gr.Value.done != cycles {
+			t.OK = false
+			t.AddNote("eps=%v: only %d/%d cycles completed", eps, gr.Value.done, cycles)
 		}
 		for _, rec := range ins.Cycles {
 			t.AddRow(eps, ins.P.R, ins.P.N, ins.M, rec.Cycle,

@@ -341,6 +341,9 @@ func B1DepthThresholds(q Quick) *Table {
 	}
 	// Recover r*(n) by pure simulation: bisect the rate with the pump
 	// as the probe and compare against the exact root of r^n = 2r-1.
+	// The parallel search speculatively pre-probes future bisection
+	// midpoints (each probe owns its engine) and returns bit-identical
+	// thresholds to the sequential search.
 	bisectDepths := []int{3, 6}
 	if q {
 		bisectDepths = bisectDepths[:1]
@@ -352,7 +355,7 @@ func B1DepthThresholds(q Quick) *Table {
 			}
 			return stability.Stable
 		}
-		emp := stability.ThresholdSearch(probe, rational.New(1, 2), rational.New(9, 10), 8)
+		emp := stability.ParallelThresholdSearch(probe, rational.New(1, 2), rational.New(9, 10), 8, 0)
 		exact := baselines.DepthThreshold(n, 20)
 		diff := emp.Float() - exact.Float()
 		ok := diff >= -0.02 && diff <= 0.02
@@ -386,12 +389,37 @@ func B2NTGStarvation(q Quick) *Table {
 	if q {
 		rates = rates[:2]
 	}
+	// Every (rate, policy) ladder run builds its own graph and engine,
+	// so the whole grid fans out across a worker pool; rows keep the
+	// sequential rate-major, policy-minor order (the FIFO verdict reads
+	// NTG's drain time for the same rate out of the collected results).
+	pols := []policy.Policy{policy.NTG{}, policy.FTG{}, policy.LIS{}, policy.FIFO{}}
+	type b2Run struct {
+		rate rational.Rat
+		pol  policy.Policy
+	}
+	var grid []b2Run
 	for _, r := range rates {
+		for _, pol := range pols {
+			grid = append(grid, b2Run{r, pol})
+		}
+	}
+	results := stability.SweepGrid(grid, func(run b2Run) baselines.LadderResult {
+		sc := baselines.LadderScenario{L: 6, K: k, CrossRate: run.rate, Steps: steps}
+		return sc.Run(run.pol)
+	}, 0)
+	for ri, r := range rates {
 		sc := baselines.LadderScenario{L: 6, K: k, CrossRate: r, Steps: steps}
 		ideal := float64(k) / (1 - r.Float())
 		var ntgDrain int64
-		for _, pol := range []policy.Policy{policy.NTG{}, policy.FTG{}, policy.LIS{}, policy.FIFO{}} {
-			res := sc.Run(pol)
+		for pi, pol := range pols {
+			gr := results[ri*len(pols)+pi]
+			if gr.Panic != "" {
+				t.OK = false
+				t.AddNote("%s at r=%v panicked: %s", pol.Name(), r, gr.Panic)
+				continue
+			}
+			res := gr.Value
 			ok := res.Drained()
 			switch pol.Name() {
 			case "NTG":

@@ -1,0 +1,262 @@
+package stability
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aqt/internal/rational"
+)
+
+// monotoneProbe builds a deterministic monotone probe: diverging at and
+// above tau, below it stable or (deterministically, by a hash of the
+// rate) inconclusive — exercising the "inconclusive counts as stable"
+// rule under parallelism too.
+func monotoneProbe(tau rational.Rat, withInconclusive bool) func(rational.Rat) Verdict {
+	return func(r rational.Rat) Verdict {
+		if r.Cmp(tau) >= 0 {
+			return Diverging
+		}
+		if withInconclusive && (r.Num()+r.Den())%3 == 0 {
+			return Inconclusive
+		}
+		return Stable
+	}
+}
+
+// TestParallelThresholdSearchEquivalence is the equivalence property
+// suite: across randomized monotone probes, endpoints (on- and
+// off-grid) and resolutions, the parallel search must return
+// bit-identical rationals to the sequential one — including the
+// empty-grid and diverges-at-lo edge cases. Run under -race via
+// `make verify`.
+func TestParallelThresholdSearchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	workerChoices := []int{1, 2, 3, 4, 8}
+	cases, emptyGrid, atLo, aboveHi := 0, 0, 0, 0
+	for i := 0; i < 1250; i++ {
+		bits := 1 + rng.Intn(12)
+		den := int64(1) << bits
+
+		// Endpoints: sometimes exactly on the dyadic grid, otherwise
+		// random rationals with foreign denominators.
+		var lo, hi rational.Rat
+		if rng.Intn(3) == 0 {
+			lo = rational.New(rng.Int63n(2*den), den)
+		} else {
+			lo = rational.New(rng.Int63n(257), 1+rng.Int63n(128))
+		}
+		switch rng.Intn(4) {
+		case 0: // wide interval
+			hi = lo.Add(rational.New(1+rng.Int63n(200), 1+rng.Int63n(16)))
+		case 1: // narrow interval: often snaps to an empty grid
+			hi = lo.Add(rational.New(1, 2+rng.Int63n(4*den)))
+		default:
+			hi = lo.Add(rational.New(1+rng.Int63n(64), 1+rng.Int63n(96)))
+		}
+
+		// Threshold: inside, below (diverges already at lo) or above
+		// (never diverges) the interval.
+		span := hi.Sub(lo)
+		var tau rational.Rat
+		switch rng.Intn(5) {
+		case 0:
+			tau = lo.Sub(span) // diverges at lo
+		case 1:
+			tau = hi.Add(span).Add(rational.New(1, 7)) // stable everywhere
+		default:
+			tau = lo.Add(span.MulInt(rng.Int63n(9)).Div(rational.FromInt(8)))
+		}
+		probe := monotoneProbe(tau, rng.Intn(2) == 0)
+
+		want := ThresholdSearch(probe, lo, hi, bits)
+		workers := workerChoices[i%len(workerChoices)]
+		got := ParallelThresholdSearch(probe, lo, hi, bits, workers)
+		if got != want {
+			t.Fatalf("case %d: ParallelThresholdSearch(tau=%v, lo=%v, hi=%v, bits=%d, workers=%d) = %v, want %v",
+				i, tau, lo, hi, bits, workers, got, want)
+		}
+
+		cases++
+		loI, hiI, _ := snapGrid(lo, hi, bits)
+		switch {
+		case hiI < loI:
+			emptyGrid++
+		case tau.LessEq(lo): // diverging already at the lower endpoint
+			atLo++
+		case hi.Less(want): // stable on the whole grid
+			aboveHi++
+		}
+	}
+	if cases < 1000 {
+		t.Fatalf("only %d cases ran, want >= 1000", cases)
+	}
+	// The generator must actually hit the edge regimes it claims to.
+	if emptyGrid == 0 || atLo == 0 || aboveHi == 0 {
+		t.Fatalf("edge-case coverage too thin: emptyGrid=%d atLo=%d aboveHi=%d", emptyGrid, atLo, aboveHi)
+	}
+	t.Logf("%d cases: %d empty-grid, %d diverging-at-lo, %d stable-everywhere", cases, emptyGrid, atLo, aboveHi)
+}
+
+// TestParallelThresholdSearchEmptyGridNoProbe mirrors the sequential
+// contract: an interval with no grid point must resolve without a
+// single probe (and without spinning up stray goroutines).
+func TestParallelThresholdSearchEmptyGridNoProbe(t *testing.T) {
+	var calls atomic.Int64
+	probe := func(rational.Rat) Verdict { calls.Add(1); return Diverging }
+	lo, hi := rational.New(3, 10), rational.New(2, 5)
+	got := ParallelThresholdSearch(probe, lo, hi, 1, 8)
+	if calls.Load() != 0 {
+		t.Errorf("probe called %d times on an empty grid", calls.Load())
+	}
+	if !hi.Less(got) {
+		t.Errorf("threshold = %v, want > hi %v", got, hi)
+	}
+}
+
+func TestParallelThresholdSearchPanics(t *testing.T) {
+	probe := func(rational.Rat) Verdict { return Stable }
+	for name, f := range map[string]func(){
+		"bits":   func() { ParallelThresholdSearch(probe, rational.New(1, 2), rational.FromInt(1), 0, 4) },
+		"lo>=hi": func() { ParallelThresholdSearch(probe, rational.FromInt(1), rational.FromInt(1), 8, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestParallelThresholdSearchProbePanic: a panic at a point the
+// sequential search would visit must resurface on the caller's
+// goroutine with the original value, and the pool must be fully torn
+// down afterwards.
+func TestParallelThresholdSearchProbePanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	probe := func(r rational.Rat) Verdict { panic(fmt.Sprintf("probe exploded at %v", r)) }
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		ParallelThresholdSearch(probe, rational.New(1, 2), rational.FromInt(1), 8, 4)
+	}()
+	msg, ok := recovered.(string)
+	if !ok || !strings.HasPrefix(msg, "probe exploded at ") {
+		t.Fatalf("recovered %v, want the probe's panic value", recovered)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestParallelThresholdSearchCancelOnResolve: once the threshold
+// resolves, queued speculative probes are dropped and no goroutine
+// keeps probing — the probe-call counter must freeze the moment the
+// search returns, and the worker goroutines must all be gone.
+func TestParallelThresholdSearchCancelOnResolve(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var calls atomic.Int64
+	// Diverging at lo: resolves after a single needed verdict while 8
+	// workers hold a speculated frontier; the slow probe keeps some of
+	// it queued when the driver resolves.
+	probe := func(rational.Rat) Verdict {
+		calls.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return Diverging
+	}
+	got := ParallelThresholdSearch(probe, rational.New(1, 2), rational.FromInt(1), 20, 8)
+	if want := rational.New(1, 2); got != want {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+	frozen := calls.Load()
+	waitForGoroutines(t, before)
+	time.Sleep(20 * time.Millisecond)
+	if now := calls.Load(); now != frozen {
+		t.Errorf("probe ran %d more times after the search returned", now-frozen)
+	}
+	// 8 workers, one needed verdict: speculation is bounded by the pool
+	// size, so at most workers+1 probes can ever have started.
+	if frozen > 9 {
+		t.Errorf("%d probes ran for a search resolved by its first verdict", frozen)
+	}
+}
+
+func TestSweepGridOrderAndWorkers(t *testing.T) {
+	points := make([]Point, 17)
+	for i := range points {
+		points[i] = Point{Rate: rational.New(int64(i)+1, 40), Depth: i}
+	}
+	probe := func(p Point) string {
+		// Scramble completion order so result order must come from the
+		// index bookkeeping, not scheduling luck.
+		time.Sleep(time.Duration((17-p.Depth)%5) * time.Millisecond)
+		return fmt.Sprintf("d%d@%v", p.Depth, p.Rate)
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		before := runtime.NumGoroutine()
+		res := SweepGrid(points, probe, workers)
+		if len(res) != len(points) {
+			t.Fatalf("workers=%d: %d results", workers, len(res))
+		}
+		for i, r := range res {
+			want := fmt.Sprintf("d%d@%v", i, points[i].Rate)
+			if r.Value != want || r.Panic != "" {
+				t.Errorf("workers=%d: result[%d] = %q (panic %q), want %q", workers, i, r.Value, r.Panic, want)
+			}
+			if r.Point != points[i] {
+				t.Errorf("workers=%d: result[%d].Point = %v, want %v", workers, i, r.Point, points[i])
+			}
+		}
+		waitForGoroutines(t, before)
+	}
+}
+
+func TestSweepGridEmpty(t *testing.T) {
+	res := SweepGrid(nil, func(Point) int { t.Error("probe called"); return 0 }, 4)
+	if len(res) != 0 {
+		t.Errorf("%d results for an empty grid", len(res))
+	}
+}
+
+// TestSweepGridPanicCapture mirrors expt.RunAll's contract: a crashed
+// probe surfaces in its own result and leaves its siblings intact.
+func TestSweepGridPanicCapture(t *testing.T) {
+	points := []Point{{Depth: 1}, {Depth: 2}, {Depth: 3}}
+	res := SweepGrid(points, func(p Point) int {
+		if p.Depth == 2 {
+			panic("boom at depth 2")
+		}
+		return p.Depth * 10
+	}, 3)
+	if res[0].Panic != "" || res[0].Value != 10 || res[2].Panic != "" || res[2].Value != 30 {
+		t.Errorf("healthy probes affected by sibling panic: %+v", res)
+	}
+	if res[1].Panic != "boom at depth 2" {
+		t.Errorf("panic not captured: %+v", res[1])
+	}
+	if res[1].Value != 0 {
+		t.Errorf("panicked probe must not report a value, got %d", res[1].Value)
+	}
+}
+
+// waitForGoroutines asserts the goroutine count settles back to (at
+// most) the recorded baseline — the leak check behind the pool
+// contract that every worker is joined before the call returns.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -11,53 +11,101 @@ import "aqt/internal/rational"
 //
 // Inconclusive probe results are treated as stable (the search errs
 // towards reporting a higher threshold, never a spuriously low one).
+//
+// ParallelThresholdSearch evaluates the same decision sequence with a
+// worker pool and returns bit-identical results for any deterministic
+// probe.
 func ThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi rational.Rat, bits int) rational.Rat {
-	if bits < 1 || bits > 30 {
-		panic("stability: bits out of range")
-	}
-	if !lo.Less(hi) {
-		panic("stability: need lo < hi")
-	}
-	den := int64(1) << bits
-	toGrid := func(r rational.Rat, up bool) int64 {
-		v := r.MulInt(den)
-		if up {
-			return v.Ceil()
-		}
-		return v.Floor()
-	}
-	// Ceil the lower endpoint: flooring an off-grid lo would probe a
-	// rate strictly below lo, breaking the documented (lo, hi]
-	// contract (and potentially returning a rate the caller already
-	// knows to be stable territory). Symmetrically, floor the upper
-	// endpoint: ceiling an off-grid hi would probe a rate strictly
-	// above it, and a divergence first seen there would be reported
-	// from outside (lo, hi].
-	loI := toGrid(lo, true)
-	hiI := toGrid(hi, false)
+	loI, hiI, den := snapGrid(lo, hi, bits)
 	if hiI < loI {
 		// No grid point lands inside [lo, hi] at this resolution, so
 		// nothing can diverge on the grid; report "just above hi"
 		// without probing outside the interval.
 		return rational.New(hiI+1, den)
 	}
-	diverges := func(i int64) bool {
-		return probe(rational.New(i, den)) == Diverging
+	st := searchState{loI: loI, hiI: hiI}
+	for {
+		idx, done, result := st.need()
+		if done {
+			return rational.New(result, den)
+		}
+		st = st.advance(probe(rational.New(idx, den)) == Diverging)
 	}
-	if diverges(loI) {
-		return rational.New(loI, den)
+}
+
+// snapGrid validates the search parameters and snaps the endpoints to
+// the dyadic grid with denominator den = 2^bits. The lower endpoint is
+// ceiled: flooring an off-grid lo would probe a rate strictly below
+// lo, breaking the documented (lo, hi] contract (and potentially
+// returning a rate the caller already knows to be stable territory).
+// Symmetrically the upper endpoint is floored: ceiling an off-grid hi
+// would probe a rate strictly above it, and a divergence first seen
+// there would be reported from outside (lo, hi].
+func snapGrid(lo, hi rational.Rat, bits int) (loI, hiI, den int64) {
+	if bits < 1 || bits > 30 {
+		panic("stability: bits out of range")
 	}
-	if !diverges(hiI) {
-		return rational.New(hiI+1, den)
+	if !lo.Less(hi) {
+		panic("stability: need lo < hi")
 	}
-	// Invariant: stable at loI, diverging at hiI.
-	for hiI-loI > 1 {
-		mid := (loI + hiI) / 2
-		if diverges(mid) {
-			hiI = mid
+	den = int64(1) << bits
+	return lo.MulInt(den).Ceil(), hi.MulInt(den).Floor(), den
+}
+
+// searchState is the bisection's decision state, factored out so the
+// sequential and parallel searches walk literally the same sequence of
+// probe points and verdict branches. Phases: 0 probes the snapped lo
+// endpoint, 1 probes the snapped hi endpoint, 2 bisects the interval
+// with the invariant "stable at loI, diverging at hiI".
+type searchState struct {
+	phase    int
+	loI, hiI int64
+	resolved bool
+	result   int64
+}
+
+// need returns the grid index the search probes next, or done=true
+// with the resolved result index.
+func (st searchState) need() (idx int64, done bool, result int64) {
+	if st.resolved {
+		return 0, true, st.result
+	}
+	switch st.phase {
+	case 0:
+		return st.loI, false, 0
+	case 1:
+		return st.hiI, false, 0
+	default:
+		if st.hiI-st.loI <= 1 {
+			return 0, true, st.hiI
+		}
+		return (st.loI + st.hiI) / 2, false, 0
+	}
+}
+
+// advance folds the verdict for the index need() returned into the
+// state.
+func (st searchState) advance(diverges bool) searchState {
+	switch st.phase {
+	case 0:
+		if diverges {
+			st.resolved, st.result = true, st.loI
 		} else {
-			loI = mid
+			st.phase = 1
+		}
+	case 1:
+		if !diverges {
+			st.resolved, st.result = true, st.hiI+1
+		} else {
+			st.phase = 2
+		}
+	default:
+		mid := (st.loI + st.hiI) / 2
+		if diverges {
+			st.hiI = mid
+		} else {
+			st.loI = mid
 		}
 	}
-	return rational.New(hiI, den)
+	return st
 }
