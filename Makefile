@@ -3,11 +3,12 @@
 # adversary and buffer hot paths — the packages the incremental
 # max-queue and timestamp-ring bookkeeping live in — and over the
 # parallel probe layer (stability.SweepGrid / ParallelThresholdSearch)
-# and the experiment runners that fan out through it.
+# and the experiment runners that fan out through it, plus the
+# observability layer (internal/obs) riding both hot paths.
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff sweep-smoke fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke fuzz
 
 verify: test vet race
 
@@ -19,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/... ./internal/stability/... ./internal/expt/...
+	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/... ./internal/stability/... ./internal/expt/... ./internal/obs/...
 
 # Emit a BENCH_<LABEL>.json trajectory point (default label: git short hash).
 LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
@@ -38,6 +39,12 @@ bench-diff:
 sweep-smoke:
 	$(GO) run ./cmd/sweep -n 6 -from 0.5 -to 0.8 -points 7 -scap 800 -workers 0
 	$(GO) run ./cmd/sweep -rate 0.7 -depths 3,4,6 -scap 800 -workers 0
+
+# Flight-recorder end-to-end smoke: trace a short run on the G_ε
+# instability graph; cmd/aqtsim self-validates the dump against the
+# JSONL schema (exit nonzero on a schema break).
+trace-smoke:
+	$(GO) run ./cmd/aqtsim -topo geps -size 4 -policy FIFO -w 20 -rate 1/4 -steps 2000 -trace /tmp/aqt-trace-smoke.jsonl -metrics
 
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary

@@ -29,6 +29,7 @@ import (
 	"aqt/internal/expt"
 	"aqt/internal/gadget"
 	"aqt/internal/graph"
+	"aqt/internal/obs"
 	"aqt/internal/packet"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
@@ -143,6 +144,38 @@ var (
 	// NewRecorder returns a queue-size recorder sampling every stride
 	// steps.
 	NewRecorder = sim.NewRecorder
+)
+
+// Observability: the flight recorder, metrics registry and sweep
+// telemetry of internal/obs.
+type (
+	// FlightRecorder keeps the latest N engine events in a ring and can
+	// dump them as JSONL (automatically on invariant failure via
+	// AutoDump). Register with Engine.AddEventObserver.
+	FlightRecorder = obs.FlightRecorder
+	// MetricsRegistry is a goroutine-confined set of counters and
+	// log2-bucketed histograms; snapshots merge across workers.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a mergeable point-in-time registry view.
+	MetricsSnapshot = obs.Snapshot
+	// Meter instruments one engine with the standard metrics.
+	Meter = obs.Meter
+	// SweepProgress is one probe-layer progress report.
+	SweepProgress = obs.SweepProgress
+	// StatusLine renders SweepProgress as a live stderr line.
+	StatusLine = obs.StatusLine
+)
+
+// Observability constructors.
+var (
+	// NewFlightRecorder returns a keep-latest event ring.
+	NewFlightRecorder = obs.NewFlightRecorder
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewMeter returns a standard engine meter (nil = fresh registry).
+	NewMeter = obs.NewMeter
+	// NewStatusLine returns a throttled progress line writing to w.
+	NewStatusLine = obs.NewStatusLine
 )
 
 // Exact rational rates.

@@ -17,7 +17,9 @@ import (
 	"strings"
 
 	"aqt/internal/adversary"
+	"aqt/internal/gadget"
 	"aqt/internal/graph"
+	"aqt/internal/obs"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
 	"aqt/internal/sim"
@@ -52,13 +54,20 @@ func buildTopo(name string, size int) (*graph.Graph, error) {
 		return graph.Grid(size, size), nil
 	case "dag":
 		return graph.RandomDAG(size, size*2, 11), nil
+	case "geps":
+		// The paper's G_ε instability graph: a gadget chain of depth
+		// size (min 3) with the Theorem 3.17 stitch edge.
+		if size < 3 {
+			size = 3
+		}
+		return gadget.NewChain(size, 3, true).G, nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q (ring|line|complete|grid|dag)", name)
+		return nil, fmt.Errorf("unknown topology %q (ring|line|complete|grid|dag|geps)", name)
 	}
 }
 
 func main() {
-	topo := flag.String("topo", "ring", "topology: ring|line|complete|grid|dag")
+	topo := flag.String("topo", "ring", "topology: ring|line|complete|grid|dag|geps")
 	size := flag.Int("size", 6, "topology size parameter")
 	polName := flag.String("policy", "FIFO", "scheduling policy (see -policies)")
 	listPols := flag.Bool("policies", false, "list policies and exit")
@@ -69,6 +78,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "adversary seed")
 	validate := flag.Bool("validate", true, "run the (w,r) compliance validator")
 	csv := flag.String("csv", "", "write the queue-size series to this file")
+	trace := flag.String("trace", "", "write a flight-recorder JSONL event trace to this file")
+	traceCap := flag.Int("tracecap", 4096, "flight-recorder ring capacity (latest events kept)")
+	metrics := flag.Bool("metrics", false, "print the metrics-registry summary")
 	flag.Parse()
 
 	if *listPols {
@@ -107,6 +119,18 @@ func main() {
 		wv = adversary.NewWindowValidator(*w, rate)
 		eng.AddObserver(wv)
 	}
+	var fr *obs.FlightRecorder
+	if *trace != "" {
+		// Event interfaces only: the recorder rides the event hooks, not
+		// the per-step dispatch loop.
+		fr = obs.NewFlightRecorder(*traceCap)
+		eng.AddEventObserver(fr)
+	}
+	var meter *obs.Meter
+	if *metrics {
+		meter = obs.NewMeter(nil)
+		eng.AddObserver(meter)
+	}
 	eng.Run(*steps)
 
 	snap := eng.Snap()
@@ -121,12 +145,49 @@ func main() {
 	fmt.Printf("engine: %s\n", snap.Stats)
 	fmt.Printf("verdict: %v\n", stability.Classify(rec.Samples(), 1.25))
 	fmt.Print(rec.AsciiPlot(64, 10))
+	var violation error
 	if wv != nil {
-		if err := wv.Check(); err != nil {
-			fmt.Printf("(w,r) compliance: VIOLATED: %v\n", err)
-			os.Exit(1)
+		// CheckAndNotify: a violation lands in the flight-recorder ring
+		// as a failure event before the trace is dumped below.
+		violation = wv.CheckAndNotify(eng)
+		if violation != nil {
+			fmt.Printf("(w,r) compliance: VIOLATED: %v\n", violation)
+		} else {
+			fmt.Println("(w,r) compliance: OK")
 		}
-		fmt.Println("(w,r) compliance: OK")
+	}
+	if meter != nil {
+		meter.Finish(eng)
+		fmt.Println("metrics:")
+		if err := meter.Registry().Snapshot().WriteText(os.Stdout); err != nil {
+			die(err)
+		}
+	}
+	if fr != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			die(err)
+		}
+		if err := fr.DumpJSONL(f); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		// Self-check the dump against the JSONL schema — the contract
+		// `make trace-smoke` relies on.
+		f2, err := os.Open(*trace)
+		if err != nil {
+			die(err)
+		}
+		n, verr := obs.ValidateJSONL(f2)
+		f2.Close()
+		if verr != nil {
+			die(fmt.Errorf("trace schema: %w", verr))
+		}
+		fmt.Printf("trace: %d events written to %s (%d recorded, %d overwritten), schema OK\n",
+			n, *trace, fr.Total(), fr.Overwritten())
 	}
 	if *csv != "" {
 		f, err := os.Create(*csv)
@@ -138,6 +199,9 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("series written to %s\n", *csv)
+	}
+	if violation != nil {
+		os.Exit(1)
 	}
 }
 

@@ -16,7 +16,10 @@
 // sustained random (w,r) traffic, plus the pure drain regime of a
 // large seeded FIFO buffer, the Recorder-observed variants
 // (Line 32/256, stride 1) that exercise the incremental max-queue
-// observation path, and the SweepParallel pair (a 7-point rate sweep
+// observation path, the StepTraced/StepMetered pair (Line 32 with the
+// obs flight recorder on the event hooks resp. the metrics Meter on
+// the step dispatch path — the observability cost budget), and the
+// SweepParallel pair (a 7-point rate sweep
 // run sequentially vs. fanned across the stability.SweepGrid worker
 // pool — the parallel entry's ns/op divides by ~min(7, GOMAXPROCS) on
 // a multicore machine).
@@ -44,6 +47,7 @@ import (
 	"aqt/internal/baselines"
 	"aqt/internal/gadget"
 	"aqt/internal/graph"
+	"aqt/internal/obs"
 	"aqt/internal/packet"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
@@ -294,6 +298,50 @@ func specs() []benchSpec {
 			},
 		})
 	}
+
+	// The observability overhead pair: the same Line(32) traffic with
+	// the flight recorder on the event hooks (StepTraced) and the
+	// metrics Meter on the per-step dispatch path (StepMetered). Both
+	// must stay allocation-free; their ns/op gap over StepRecorded is
+	// the cost budget of `internal/obs`.
+	out = append(out, benchSpec{
+		name: "StepTraced/Line32/FIFO",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				g := graph.Line(32)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				eng = sim.New(g, policy.FIFO{}, adv)
+				eng.AddEventObserver(obs.NewFlightRecorder(4096))
+				eng.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+			return res, eng.Stats()
+		},
+	})
+	out = append(out, benchSpec{
+		name: "StepMetered/Line32/FIFO",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				g := graph.Line(32)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				eng = sim.New(g, policy.FIFO{}, adv)
+				eng.AddObserver(obs.NewMeter(nil))
+				eng.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+			return res, eng.Stats()
+		},
+	})
 
 	// BenchmarkSweepParallel: the PR4 parallel probe layer on a 7-point
 	// rate grid (depth 6, capped pumps) — sequential pool vs. GOMAXPROCS

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"aqt/internal/expt"
+	"aqt/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	csvDir := flag.String("csvdir", "", "also write one CSV per experiment into this directory")
+	progress := flag.Bool("progress", false, "live experiment-progress status line on stderr")
+	metrics := flag.Bool("metrics", false, "print the merged harness metrics on stderr")
+	trace := flag.String("trace", "", "write a harness-level JSONL event trace to this file")
 	flag.Parse()
 
 	runners := expt.All()
@@ -51,7 +55,18 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "running %d experiments ...\n", len(runners))
-	results := expt.RunAll(runners, expt.Quick(*quick), *jobs)
+	var onProgress obs.ProgressFunc
+	var sl *obs.StatusLine
+	if *progress {
+		sl = obs.NewStatusLine(os.Stderr)
+		onProgress = sl.Progress()
+	}
+	// RunAllTelemetry merges one obs.Registry per worker goroutine into
+	// a single snapshot — the sweep-level Merge path.
+	results, snap := expt.RunAllTelemetry(runners, expt.Quick(*quick), *jobs, onProgress)
+	if sl != nil {
+		sl.Finish()
+	}
 	failed := 0
 	for _, res := range results {
 		if *markdown {
@@ -77,8 +92,68 @@ func main() {
 		}
 	}
 	fmt.Fprint(os.Stderr, expt.Summary(results))
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "harness metrics (merged across workers):")
+		if err := snap.WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *trace != "" {
+		if err := writeHarnessTrace(*trace, results); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d table(s) FAILED\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeHarnessTrace records the experiment lifecycle — one marker per
+// completed runner (in registry order), one failure event per panic or
+// failed table — in the flight-recorder JSONL schema, self-validated
+// after writing. Timestamps are cumulative elapsed milliseconds; the
+// engines inside the runners are not traced here (use cmd/aqtsim
+// -trace for engine-level events).
+func writeHarnessTrace(path string, results []expt.Result) error {
+	fr := obs.NewFlightRecorder(2 * len(results))
+	var t int64
+	for _, res := range results {
+		t += res.Elapsed.Milliseconds()
+		status := "ok"
+		if res.Table == nil || !res.Table.OK {
+			status = "FAIL"
+		}
+		fr.Mark(t, fmt.Sprintf("%s %s (%s, %.2fs)",
+			res.Runner.ID, res.Runner.Name, status, res.Elapsed.Seconds()))
+		if res.Panic != "" {
+			fr.RecordFailure(t, fmt.Sprintf("%s panicked: %s", res.Runner.ID, res.Panic))
+		} else if res.Table != nil && !res.Table.OK {
+			fr.RecordFailure(t, fmt.Sprintf("%s table FAILED", res.Runner.ID))
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.DumpJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	n, err := obs.ValidateJSONL(f2)
+	if err != nil {
+		return fmt.Errorf("trace schema: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d events written to %s, schema OK\n", n, path)
+	return nil
 }

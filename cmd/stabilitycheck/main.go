@@ -22,6 +22,7 @@ import (
 
 	"aqt/internal/adversary"
 	"aqt/internal/graph"
+	"aqt/internal/obs"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
 	"aqt/internal/stability"
@@ -35,6 +36,7 @@ func main() {
 	size := flag.Int("size", 0, "topology size (0 = d+2)")
 	seed := flag.Int64("seed", 7, "adversary seed")
 	workers := flag.Int("workers", 0, "check worker pool size (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "live check-progress status line on stderr")
 	flag.Parse()
 
 	sz := *size
@@ -69,13 +71,22 @@ func main() {
 		checks = append(checks, check{pol, tpRate, *seed + 1})
 	}
 
-	results := stability.SweepGrid(checks, func(c check) stability.ResidenceResult {
+	var onProgress obs.ProgressFunc
+	var sl *obs.StatusLine
+	if *progress {
+		sl = obs.NewStatusLine(os.Stderr)
+		onProgress = sl.Progress()
+	}
+	results := stability.SweepGridOpt(checks, func(c check) stability.ResidenceResult {
 		// Built inside the probe: the graph, adversary and engine stay
 		// confined to the worker that runs this check.
 		g := build(sz)
 		adv := adversary.NewRandomWR(g, *w, c.rate, *d, c.seed)
 		return stability.CheckResidence(g, c.pol, adv, *w, c.rate, *d, *steps)
-	}, *workers)
+	}, *workers, onProgress)
+	if sl != nil {
+		sl.Finish()
+	}
 
 	fail := 0
 	fmt.Printf("Theorem 4.1 — every greedy policy at r = 1/(d+1) = 1/%d:\n", *d+1)

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"aqt/internal/baselines"
+	"aqt/internal/obs"
 	"aqt/internal/rational"
 	"aqt/internal/stability"
 )
@@ -46,8 +47,23 @@ func run(args []string, out, errw io.Writer) int {
 	depths := fs.String("depths", "3,4,6,9,12", "depths for the depth sweep")
 	sCap := fs.Int64("scap", 3000, "cap on the pump size S")
 	workers := fs.Int("workers", 0, "probe worker pool size (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "live probe-progress status line on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// The status line writes to errw only, so stdout stays byte-identical
+	// with and without -progress (the golden tests' contract).
+	var sl *obs.StatusLine
+	var onProgress obs.ProgressFunc
+	if *progress {
+		sl = obs.NewStatusLine(errw)
+		onProgress = sl.Progress()
+	}
+	finishProgress := func() {
+		if sl != nil {
+			sl.Finish()
+		}
 	}
 
 	if *rate > 0 {
@@ -61,9 +77,11 @@ func run(args []string, out, errw io.Writer) int {
 			}
 			pts = append(pts, stability.Point{Rate: r, Depth: d})
 		}
+		grid := baselines.PumpGridOpt(pts, *sCap, *workers, onProgress)
+		finishProgress()
 		fmt.Fprintf(out, "depth sweep at r = %v:\n", r)
 		fmt.Fprintf(out, "%6s %10s %8s %8s %8s %8s\n", "n", "r*(n)", "S", "S'", "growth", "pumps")
-		for _, gr := range baselines.PumpGrid(pts, *sCap, *workers) {
+		for _, gr := range grid {
 			if gr.Panic != "" {
 				fmt.Fprintf(errw, "sweep: probe %v panicked: %s\n", gr.Point, gr.Panic)
 				return 1
@@ -84,10 +102,12 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		pts[i] = stability.Point{Rate: rational.FromFloat(f, 4096), Depth: *n}
 	}
+	grid := baselines.PumpGridOpt(pts, *sCap, *workers, onProgress)
+	finishProgress()
 	fmt.Fprintf(out, "rate sweep at depth n = %d (threshold r*(%d) = %.4f):\n",
 		*n, *n, baselines.DepthThreshold(*n, 20).Float())
 	fmt.Fprintf(out, "%8s %8s %8s %8s %8s\n", "r", "S", "S'", "growth", "pumps")
-	for _, gr := range baselines.PumpGrid(pts, *sCap, *workers) {
+	for _, gr := range grid {
 		if gr.Panic != "" {
 			fmt.Fprintf(errw, "sweep: probe %v panicked: %s\n", gr.Point, gr.Panic)
 			return 1

@@ -159,8 +159,11 @@ func (r *Rerouter) ExtendBatch(e *sim.Engine, pkts []*packet.Packet, ext func(p 
 
 // MustExtendBatch is ExtendBatch but panics on error; the paper's
 // constructions use it because their preconditions hold by design.
+// FailureObservers are notified before the panic, so a flight
+// recorder captures the steps leading up to the Lemma 3.3 violation.
 func (r *Rerouter) MustExtendBatch(e *sim.Engine, pkts []*packet.Packet, ext func(p *packet.Packet) []graph.EdgeID) {
 	if err := r.ExtendBatch(e, pkts, ext); err != nil {
+		e.NotifyFailure("rerouter: " + err.Error())
 		panic(err)
 	}
 }

@@ -174,11 +174,17 @@ func (q *Sequence) Current() int { return q.cur }
 // Finished reports whether all phases completed.
 func (q *Sequence) Finished() bool { return q.cur >= len(q.phases) }
 
-// advance enters phases until the current one is not yet done.
+// advance enters phases until the current one is not yet done. Every
+// phase entry is announced to the engine's MarkerObservers via
+// Annotate, so a flight recorder sees the paper-level phase structure
+// (the Lemma 3.6/3.13/3.15/3.16 names) interleaved with the packet
+// events. Phase names are built once at construction, so annotating
+// is allocation-free (and a no-op without marker observers).
 func (q *Sequence) advance(e *sim.Engine) {
 	for q.cur < len(q.phases) {
 		ph := &q.phases[q.cur]
 		if ph.adv == nil {
+			e.Annotate(ph.Name)
 			if q.onSwap != nil {
 				q.onSwap(q.cur, e)
 			}

@@ -125,6 +125,18 @@ func (rv *RateValidator) Check() error {
 	return nil
 }
 
+// CheckAndNotify is Check, but a violation is first reported to e's
+// FailureObservers (sim.Engine.NotifyFailure) so a registered flight
+// recorder auto-dumps the event tail before the caller acts on the
+// error. e may be nil.
+func (rv *RateValidator) CheckAndNotify(e *sim.Engine) error {
+	err := rv.Check()
+	if err != nil && e != nil {
+		e.NotifyFailure("rate validator: " + err.Error())
+	}
+	return err
+}
+
 // CheckBudget limits the quadratic exact check to edges with at most
 // maxPerEdge recorded injections and uses a linear sliding scan (all
 // windows of every length up to maxWin) for busier edges. For the
@@ -248,6 +260,16 @@ func (wv *WindowValidator) OnReroute(t int64, p *packet.Packet, oldRoute []graph
 
 // Bound returns the per-window per-edge injection bound floor(r·w).
 func (wv *WindowValidator) Bound() int64 { return wv.Rate.FloorMulInt(wv.W) }
+
+// CheckAndNotify is Check with sim.Engine.NotifyFailure on violation,
+// mirroring RateValidator.CheckAndNotify. e may be nil.
+func (wv *WindowValidator) CheckAndNotify(e *sim.Engine) error {
+	err := wv.Check()
+	if err != nil && e != nil {
+		e.NotifyFailure("window validator: " + err.Error())
+	}
+	return err
+}
 
 // Check verifies every w-window with a sliding two-pointer scan per
 // edge — O(k) per edge. Returns nil when compliant.

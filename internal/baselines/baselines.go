@@ -32,6 +32,7 @@ import (
 	"aqt/internal/core"
 	"aqt/internal/gadget"
 	"aqt/internal/graph"
+	"aqt/internal/obs"
 	"aqt/internal/packet"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
@@ -138,9 +139,17 @@ func RunDepthPump(r rational.Rat, n int, sCap int64) DepthPumpResult {
 // sweep's output is identical at any worker count. A probe that panics
 // reports it in its own GridResult instead of sinking the sweep.
 func PumpGrid(points []stability.Point, sCap int64, workers int) []stability.GridResult[stability.Point, DepthPumpResult] {
-	return stability.SweepGrid(points, func(p stability.Point) DepthPumpResult {
+	return PumpGridOpt(points, sCap, workers, nil)
+}
+
+// PumpGridOpt is PumpGrid with sweep telemetry: onProgress (nil =
+// none) receives probe start/finish reports — the hook behind
+// cmd/sweep's -progress status line. Results are identical to
+// PumpGrid at any worker count.
+func PumpGridOpt(points []stability.Point, sCap int64, workers int, onProgress obs.ProgressFunc) []stability.GridResult[stability.Point, DepthPumpResult] {
+	return stability.SweepGridOpt(points, func(p stability.Point) DepthPumpResult {
 		return RunDepthPump(p.Rate, p.Depth, sCap)
-	}, workers)
+	}, workers, onProgress)
 }
 
 // LadderScenario is the B2 starvation workload: a directed rail of L

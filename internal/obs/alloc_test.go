@@ -1,0 +1,62 @@
+// Allocation gates for the observability layer: a flight recorder on
+// the event hooks and a Meter on the per-step dispatch path must both
+// leave the engine at 0 allocs per Step — instrumentation does not get
+// to give back what PR 2 won.
+package obs_test
+
+import (
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/obs"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+func tracedEngine(ob func(e *sim.Engine)) *sim.Engine {
+	g := graph.Line(32)
+	adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+	e := sim.New(g, policy.FIFO{}, adv)
+	ob(e)
+	e.Run(512) // steady state: arenas, rings and active set warmed
+	return e
+}
+
+func TestStepAllocsTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	e := tracedEngine(func(e *sim.Engine) {
+		e.AddEventObserver(obs.NewFlightRecorder(4096))
+	})
+	if avg := testing.AllocsPerRun(512, func() { e.Step() }); avg != 0 {
+		t.Errorf("flight-recorded Step: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestStepAllocsMetered(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	e := tracedEngine(func(e *sim.Engine) {
+		e.AddObserver(obs.NewMeter(nil))
+	})
+	if avg := testing.AllocsPerRun(512, func() { e.Step() }); avg != 0 {
+		t.Errorf("metered Step: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestStepAllocsTracedAndMetered(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	e := tracedEngine(func(e *sim.Engine) {
+		e.AddEventObserver(obs.NewFlightRecorder(4096))
+		e.AddObserver(obs.NewMeter(nil))
+	})
+	if avg := testing.AllocsPerRun(512, func() { e.Step() }); avg != 0 {
+		t.Errorf("traced+metered Step: %v allocs/op, want 0", avg)
+	}
+}

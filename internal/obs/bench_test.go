@@ -1,0 +1,45 @@
+package obs_test
+
+import (
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/obs"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// The observability overhead pair, mirrored by cmd/bench's
+// StepTraced/StepMetered entries: the instrumented step must stay
+// allocation-free and within a small constant of StepRecorded.
+
+func benchEngine(b *testing.B, ob func(e *sim.Engine)) *sim.Engine {
+	g := graph.Line(32)
+	adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+	e := sim.New(g, policy.FIFO{}, adv)
+	ob(e)
+	e.Run(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return e
+}
+
+func BenchmarkStepTraced(b *testing.B) {
+	e := benchEngine(b, func(e *sim.Engine) {
+		e.AddEventObserver(obs.NewFlightRecorder(4096))
+	})
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkStepMetered(b *testing.B) {
+	e := benchEngine(b, func(e *sim.Engine) {
+		e.AddObserver(obs.NewMeter(nil))
+	})
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,74 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/core"
+	"aqt/internal/gadget"
+	"aqt/internal/obs"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// TestInvariantViolationAutoDumpsTrace is the end-to-end acceptance
+// check for the flight recorder: run the Lemma 3.6 pump at r = 7/10
+// against a rate validator deliberately mis-rated at 1/2 — the pump's
+// injections then violate the declared leaky-bucket constraint — and
+// require that CheckAndNotify auto-dumps a JSONL trace whose tail
+// carries the pump's phase marker and the failure event.
+func TestInvariantViolationAutoDumpsTrace(t *testing.T) {
+	r := rational.New(7, 10)
+	n := 3
+	p := core.ParamsFor(r, n)
+	s := 4 * p.S0
+	if s > 64 {
+		s = 64
+	}
+	if min := int64(4 * n); s < min {
+		s = min
+	}
+	c := gadget.NewChain(n, 2, false)
+	e := sim.New(c.G, policy.FIFO{}, nil)
+	c.SeedInvariant(e, 1, int(s))
+
+	var dump bytes.Buffer
+	fr := obs.NewFlightRecorder(1 << 14)
+	fr.AutoDump = &dump
+	e.AddEventObserver(fr)
+	// The mis-rated validator: the adversary really injects at 7/10.
+	rv := adversary.NewRateValidator(rational.New(1, 2))
+	e.AddObserver(rv)
+
+	var rep core.PumpReport
+	seq := adversary.NewSequence(core.PumpPhase(p, c, 1, nil, &rep))
+	e.SetAdversary(seq)
+	e.RunUntil(func(*sim.Engine) bool { return seq.Finished() }, 8*s+int64(8*n))
+
+	err := rv.CheckAndNotify(e)
+	if err == nil {
+		t.Fatal("mis-rated validator found no violation — the scenario is broken")
+	}
+	if dump.Len() == 0 {
+		t.Fatal("violation did not auto-dump a trace")
+	}
+	if fr.DumpErr != nil {
+		t.Fatalf("auto-dump error: %v", fr.DumpErr)
+	}
+	if _, verr := obs.ValidateJSONL(bytes.NewReader(dump.Bytes())); verr != nil {
+		t.Fatalf("auto-dumped trace fails the schema: %v", verr)
+	}
+
+	out := dump.String()
+	if !strings.Contains(out, `"kind":"marker"`) || !strings.Contains(out, "lemma3.6 pump") {
+		t.Errorf("trace is missing the pump phase marker")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"kind":"failure"`) || !strings.Contains(last, "rate validator") {
+		t.Errorf("trace tail is not the failure event: %s", last)
+	}
+}

@@ -1,0 +1,77 @@
+package obs_test
+
+import (
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/obs"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// TestInstrumentedEquivalence runs an identical simulation twice —
+// once bare, once with the full observability stack attached — and
+// requires the final engine states to match exactly: observation must
+// not perturb the simulation.
+func TestInstrumentedEquivalence(t *testing.T) {
+	build := func(instrument bool) (*sim.Engine, *graph.Graph, *obs.Meter) {
+		g := graph.Line(16)
+		adv := adversary.NewRandomWR(g, 16, rational.New(1, 3), 4, 9)
+		e := sim.New(g, policy.FIFO{}, adv)
+		var m *obs.Meter
+		if instrument {
+			e.AddEventObserver(obs.NewFlightRecorder(1024))
+			m = obs.NewMeter(nil)
+			e.AddObserver(m)
+		}
+		e.Run(2000)
+		return e, g, m
+	}
+	bare, g, _ := build(false)
+	inst, _, meter := build(true)
+
+	sb, si := bare.Snap(), inst.Snap()
+	sb.Stats.Nanos, si.Stats.Nanos = 0, 0
+	if sb != si {
+		t.Errorf("snapshots diverge:\nbare:         %+v\ninstrumented: %+v", sb, si)
+	}
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		id := graph.EdgeID(eid)
+		if bl, il := bare.QueueLen(id), inst.QueueLen(id); bl != il {
+			t.Errorf("edge %s: queue length %d bare vs %d instrumented", g.EdgeName(id), bl, il)
+		}
+	}
+
+	// The meter's view must agree with the engine it watched.
+	snap := meter.Registry().Snapshot()
+	qt, ok := snap.Histogram("sim.queue_total")
+	if !ok || qt.Count != 2000 {
+		t.Errorf("sim.queue_total count = %d, want one observation per step (2000)", qt.Count)
+	}
+	meter.Finish(inst)
+	snap = meter.Registry().Snapshot()
+	if v, _ := snap.Counter("sim.steps"); v != 2000 {
+		t.Errorf("sim.steps = %d, want 2000", v)
+	}
+	if v, _ := snap.Counter("sim.absorbed"); v != inst.Absorbed() {
+		t.Errorf("sim.absorbed = %d, engine says %d", v, inst.Absorbed())
+	}
+	lat, _ := snap.Histogram("sim.latency")
+	if lat.Count != inst.Absorbed() {
+		t.Errorf("sim.latency count = %d, want one per absorption (%d)", lat.Count, inst.Absorbed())
+	}
+	occ, _ := snap.Histogram("sim.edge_occupancy")
+	if occ.Count != int64(g.NumEdges()) {
+		t.Errorf("sim.edge_occupancy count = %d, want one per edge (%d)", occ.Count, g.NumEdges())
+	}
+	if occ.Max != int64(si.MaxQueueLen) {
+		t.Errorf("sim.edge_occupancy max = %d, engine max queue is %d", occ.Max, si.MaxQueueLen)
+	}
+	// Finish is idempotent: a second call must not double-count.
+	meter.Finish(inst)
+	if v, _ := meter.Registry().Snapshot().Counter("sim.steps"); v != 2000 {
+		t.Errorf("second Finish double-counted: sim.steps = %d", v)
+	}
+}

@@ -1,0 +1,97 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aqt/internal/obs"
+)
+
+func TestSweepProgressETA(t *testing.T) {
+	p := obs.SweepProgress{Done: 2, Total: 4, Elapsed: 2 * time.Second}
+	if eta := p.ETA(); eta != 2*time.Second {
+		t.Errorf("ETA() = %v, want 2s", eta)
+	}
+	if eta := (obs.SweepProgress{Done: 0, Total: 4}).ETA(); eta != 0 {
+		t.Errorf("ETA() with no finished probes = %v, want 0", eta)
+	}
+	if eta := (obs.SweepProgress{Done: 4, Total: 4, Elapsed: time.Second}).ETA(); eta != 0 {
+		t.Errorf("ETA() when done = %v, want 0", eta)
+	}
+}
+
+func TestSweepProgressString(t *testing.T) {
+	p := obs.SweepProgress{Done: 3, Total: 7, InFlight: 2,
+		Elapsed: 1500 * time.Millisecond, SlowestProbe: 400 * time.Millisecond}
+	s := p.String()
+	for _, want := range []string{"probes 3/7", "2 in flight", "elapsed", "eta", "slowest"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestStatusLine(t *testing.T) {
+	var buf bytes.Buffer
+	sl := obs.NewStatusLine(&buf)
+	sl.SetInterval(0)
+	sl.Update(obs.SweepProgress{Done: 1, Total: 2, Elapsed: time.Second})
+	sl.Update(obs.SweepProgress{Done: 2, Total: 2, Elapsed: 2 * time.Second})
+	out := buf.String()
+	if strings.Count(out, "\r") != 2 {
+		t.Errorf("want two \\r-prefixed renders, got %q", out)
+	}
+	if !strings.Contains(out, "probes 2/2") {
+		t.Errorf("final report missing: %q", out)
+	}
+	if strings.Contains(out, "\n") {
+		t.Errorf("newline before Finish: %q", out)
+	}
+	sl.Finish()
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Errorf("Finish did not terminate the line: %q", buf.String())
+	}
+	n := buf.Len()
+	sl.Finish()
+	if buf.Len() != n {
+		t.Error("second Finish wrote again")
+	}
+}
+
+// TestStatusLineThrottle: non-final updates inside the interval are
+// dropped; the final report always renders.
+func TestStatusLineThrottle(t *testing.T) {
+	var buf bytes.Buffer
+	sl := obs.NewStatusLine(&buf)
+	sl.SetInterval(time.Hour)
+	sl.Update(obs.SweepProgress{Done: 1, Total: 3})
+	sl.Update(obs.SweepProgress{Done: 2, Total: 3}) // throttled
+	if got := strings.Count(buf.String(), "\r"); got != 1 {
+		t.Errorf("throttle let %d renders through, want 1", got)
+	}
+	sl.Update(obs.SweepProgress{Done: 3, Total: 3}) // final: never throttled
+	if !strings.Contains(buf.String(), "probes 3/3") {
+		t.Errorf("final report throttled: %q", buf.String())
+	}
+}
+
+// TestStatusLinePadsShrinkingLines: a shorter line must blank the tail
+// of a longer previous render.
+func TestStatusLinePadsShrinkingLines(t *testing.T) {
+	var buf bytes.Buffer
+	sl := obs.NewStatusLine(&buf)
+	sl.SetInterval(0)
+	long := obs.SweepProgress{Done: 1, Total: 100, InFlight: 10,
+		Elapsed: 90 * time.Minute, SlowestProbe: time.Minute}
+	short := obs.SweepProgress{Done: 100, Total: 100}
+	sl.Update(long)
+	before := buf.Len()
+	sl.Update(short)
+	written := buf.String()[before:]
+	if len(written)-1 < len(long.String()) { // -1 for the leading \r
+		t.Errorf("short render %q does not cover the previous %d columns",
+			written, len(long.String()))
+	}
+}

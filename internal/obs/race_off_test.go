@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs_test
+
+// raceEnabled gates allocation assertions: the race detector
+// instruments allocations, so AllocsPerRun counts are meaningless
+// under -race.
+const raceEnabled = false

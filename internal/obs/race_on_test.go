@@ -1,0 +1,7 @@
+//go:build race
+
+package obs_test
+
+// raceEnabled is true when the race detector is active; allocation
+// assertions are skipped because race instrumentation allocates.
+const raceEnabled = true

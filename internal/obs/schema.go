@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateJSONL checks that r is a well-formed flight-recorder dump:
+// every non-empty line is a JSON object with an integer "t" >= 0 and a
+// known "kind"; packet kinds (inject/send/absorb/reroute) must carry
+// "pkt", "edge" and "hops", and marker/failure lines must carry a
+// non-empty "label". It returns the number of validated events. The
+// `make trace-smoke` target runs cmd/aqtsim -trace through this.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev struct {
+			T     *int64  `json:"t"`
+			Kind  *string `json:"kind"`
+			Pkt   *int64  `json:"pkt"`
+			Edge  *int64  `json:"edge"`
+			Hops  *int    `json:"hops"`
+			Label string  `json:"label"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return n, fmt.Errorf("line %d: %v", line, err)
+		}
+		if ev.T == nil || *ev.T < 0 {
+			return n, fmt.Errorf("line %d: missing or negative \"t\"", line)
+		}
+		if ev.Kind == nil {
+			return n, fmt.Errorf("line %d: missing \"kind\"", line)
+		}
+		switch *ev.Kind {
+		case "inject", "send", "absorb", "reroute":
+			if ev.Pkt == nil || ev.Edge == nil || ev.Hops == nil {
+				return n, fmt.Errorf("line %d: %s event needs pkt/edge/hops", line, *ev.Kind)
+			}
+		case "marker", "failure":
+			if ev.Label == "" {
+				return n, fmt.Errorf("line %d: %s event needs a label", line, *ev.Kind)
+			}
+		default:
+			return n, fmt.Errorf("line %d: unknown kind %q", line, *ev.Kind)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -94,6 +94,29 @@ type AbsorptionObserver interface {
 	OnAbsorb(t int64, p *packet.Packet)
 }
 
+// SendObserver is additionally notified of every send: during the first
+// substep of step t, packet p was selected from the buffer of edge eid
+// and is crossing it. The packet's Pos still points at eid when the
+// callback fires.
+type SendObserver interface {
+	OnSend(t int64, eid graph.EdgeID, p *packet.Packet)
+}
+
+// MarkerObserver is notified of paper-level annotations — e.g. the
+// adversary.Sequence phase markers the Lemma 3.6/3.13/3.15/3.16
+// constructions emit — via Engine.Annotate.
+type MarkerObserver interface {
+	OnMarker(t int64, label string)
+}
+
+// FailureObserver is notified when an invariant check fails — the
+// engine's own CheckConservation, or an external validator calling
+// Engine.NotifyFailure before it reports/panics. The flight recorder
+// (internal/obs) uses this to auto-dump the event tail.
+type FailureObserver interface {
+	OnFailure(e *Engine, reason string)
+}
+
 // Config tunes engine checking. The zero value enables full checking.
 type Config struct {
 	// SkipRouteCheck disables validation that injected routes are
@@ -155,6 +178,9 @@ type Engine struct {
 	injObs    []InjectionObserver
 	rerObs    []RerouteObserver
 	absObs    []AbsorptionObserver
+	sendObs   []SendObserver
+	markObs   []MarkerObserver
+	failObs   []FailureObserver
 
 	maxResidence int64 // max completed residence in one buffer
 	started      bool  // true once Step has run; seeds then refused
@@ -241,18 +267,71 @@ func (e *Engine) SetAdversary(adv Adversary) {
 // before any step has run.
 func (e *Engine) Now() int64 { return e.now }
 
-// AddObserver registers an observer; interfaces InjectionObserver and
-// RerouteObserver are detected automatically.
+// AddObserver registers a per-step observer; the event interfaces
+// (InjectionObserver, RerouteObserver, AbsorptionObserver,
+// SendObserver, MarkerObserver, FailureObserver) are detected
+// automatically.
 func (e *Engine) AddObserver(ob Observer) {
 	e.observers = append(e.observers, ob)
+	e.addEventInterfaces(ob)
+}
+
+// AddEventObserver registers an event-only observer: any of the event
+// interfaces is detected and wired, but ob is NOT added to the OnStep
+// dispatch list, so Run keeps its observerless fast path (RunQuiet) —
+// the contract the flight recorder relies on. It panics if ob
+// implements none of the event interfaces.
+func (e *Engine) AddEventObserver(ob any) {
+	if !e.addEventInterfaces(ob) {
+		panic(fmt.Sprintf("sim: %T implements no event observer interface", ob))
+	}
+}
+
+func (e *Engine) addEventInterfaces(ob any) bool {
+	matched := false
 	if io, ok := ob.(InjectionObserver); ok {
 		e.injObs = append(e.injObs, io)
+		matched = true
 	}
 	if ro, ok := ob.(RerouteObserver); ok {
 		e.rerObs = append(e.rerObs, ro)
+		matched = true
 	}
 	if ao, ok := ob.(AbsorptionObserver); ok {
 		e.absObs = append(e.absObs, ao)
+		matched = true
+	}
+	if so, ok := ob.(SendObserver); ok {
+		e.sendObs = append(e.sendObs, so)
+		matched = true
+	}
+	if mo, ok := ob.(MarkerObserver); ok {
+		e.markObs = append(e.markObs, mo)
+		matched = true
+	}
+	if fo, ok := ob.(FailureObserver); ok {
+		e.failObs = append(e.failObs, fo)
+		matched = true
+	}
+	return matched
+}
+
+// Annotate emits a paper-level marker (e.g. a lemma phase name) to the
+// registered MarkerObservers, timestamped with the current step. With
+// none registered it is a no-op, so adversaries may annotate freely.
+func (e *Engine) Annotate(label string) {
+	for _, ob := range e.markObs {
+		ob.OnMarker(e.now, label)
+	}
+}
+
+// NotifyFailure reports a failed invariant to the registered
+// FailureObservers (the flight recorder auto-dumps on it). Callers —
+// CheckConservation, the adversary validators — invoke it before they
+// panic or return the error, so the event tail is captured either way.
+func (e *Engine) NotifyFailure(reason string) {
+	for _, ob := range e.failObs {
+		ob.OnFailure(e, reason)
 	}
 }
 
@@ -442,6 +521,9 @@ func (e *Engine) stepCore() {
 		e.shrinkLen(eid, buf.Len())
 		if res := e.now - p.ArrivedAt; res > e.maxResidence {
 			e.maxResidence = res
+		}
+		for _, ob := range e.sendObs {
+			ob.OnSend(e.now, eid, p)
 		}
 		e.inFlight = append(e.inFlight, p)
 	}
@@ -667,16 +749,33 @@ func (e *Engine) ForEachQueued(fn func(eid graph.EdgeID, p *packet.Packet)) {
 	}
 }
 
+// EachQueueLen calls fn once per occupancy level l that at least one
+// edge currently sits at, in increasing order of l, with the number of
+// edges at that level. Level 0 (empty buffers) is included. It reads
+// the engine's incremental length histogram — O(max occupancy), no
+// buffer scan — so per-edge occupancy metrics stay cheap on large
+// networks.
+func (e *Engine) EachQueueLen(fn func(l, edges int)) {
+	for l := 0; l <= e.curMax; l++ {
+		if c := e.lenCnt[l]; c > 0 {
+			fn(l, int(c))
+		}
+	}
+}
+
 // CheckConservation panics unless injected == absorbed + buffered.
-// Tests and long experiments call it periodically.
+// Tests and long experiments call it periodically. FailureObservers are
+// notified before the panic, so a flight recorder captures the tail.
 func (e *Engine) CheckConservation() {
 	var buffered int64
 	for eid := range e.buffers {
 		buffered += int64(e.buffers[eid].Len())
 	}
 	if e.injected != e.absorbed+buffered {
-		panic(fmt.Sprintf("sim: conservation violated: injected %d != absorbed %d + buffered %d",
-			e.injected, e.absorbed, buffered))
+		msg := fmt.Sprintf("sim: conservation violated: injected %d != absorbed %d + buffered %d",
+			e.injected, e.absorbed, buffered)
+		e.NotifyFailure(msg)
+		panic(msg)
 	}
 }
 

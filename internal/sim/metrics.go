@@ -20,7 +20,18 @@ type Sample struct {
 type Recorder struct {
 	Stride int64
 
+	// MaxSamples, when > 0, bounds the retained series: whenever an
+	// append would exceed it, the series is downsampled in place by
+	// doubling the effective stride (a power-of-two factor on top of
+	// Stride) and keeping only the samples aligned to it. Memory for a
+	// million-step stride-1 probe is thus bounded while the series stays
+	// uniformly spaced. PeakTotal/PeakBuffer are tracked every step
+	// independently of sampling, so they remain exact. 0 = unbounded
+	// (the historical behaviour).
+	MaxSamples int
+
 	samples  []Sample
+	factor   int64 // power-of-two downsampling factor (0 or 1 = none)
 	peakTot  int64
 	peakMax  int
 	peakEdge graph.EdgeID
@@ -57,10 +68,50 @@ func (r *Recorder) OnStep(e *Engine) {
 	if stride < 1 {
 		stride = 1
 	}
+	if f := r.factor; f > 1 {
+		stride *= f
+	}
 	if e.Now()%stride != 0 {
 		return
 	}
 	r.samples = append(r.samples, Sample{T: e.Now(), TotalQueued: tot, MaxQueueLen: l})
+	for r.MaxSamples > 0 && len(r.samples) > r.MaxSamples {
+		r.downsample()
+	}
+}
+
+// downsample doubles the effective stride and drops the samples no
+// longer aligned to it, halving the retained series (up to alignment).
+func (r *Recorder) downsample() {
+	base := r.Stride
+	if base < 1 {
+		base = 1
+	}
+	if r.factor < 1 {
+		r.factor = 1
+	}
+	r.factor *= 2
+	eff := base * r.factor
+	kept := r.samples[:0]
+	for _, s := range r.samples {
+		if s.T%eff == 0 {
+			kept = append(kept, s)
+		}
+	}
+	r.samples = kept
+}
+
+// EffectiveStride returns the spacing of retained samples: Stride times
+// the current power-of-two downsampling factor (MaxSamples bounding).
+func (r *Recorder) EffectiveStride() int64 {
+	stride := r.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if r.factor > 1 {
+		stride *= r.factor
+	}
+	return stride
 }
 
 // Samples returns the recorded series (shared slice; read-only).
@@ -96,7 +147,9 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 
 // AsciiPlot renders the TotalQueued series as a crude fixed-size ASCII
 // chart for terminal reports. width and height are clamped to sane
-// minima.
+// minima. When several samples fall into one column the column shows
+// their maximum — point-sampling one value per column would let a
+// single-step spike vanish from the plot entirely.
 func (r *Recorder) AsciiPlot(width, height int) string {
 	if width < 10 {
 		width = 10
@@ -120,9 +173,26 @@ func (r *Recorder) AsciiPlot(width, height int) string {
 			grid[i][j] = ' '
 		}
 	}
+	// Per-column max: every sample lands in exactly one column, so no
+	// spike is lost. Columns without a sample of their own (fewer
+	// samples than columns) fall back to the nearest-sample mapping.
+	n := len(r.samples)
+	colMax := make([]int64, width)
+	colSet := make([]bool, width)
+	for i, s := range r.samples {
+		x := 0
+		if n > 1 {
+			x = i * (width - 1) / (n - 1)
+		}
+		if !colSet[x] || s.TotalQueued > colMax[x] {
+			colSet[x], colMax[x] = true, s.TotalQueued
+		}
+	}
 	for x := 0; x < width; x++ {
-		idx := x * (len(r.samples) - 1) / max(width-1, 1)
-		v := r.samples[idx].TotalQueued
+		v := colMax[x]
+		if !colSet[x] {
+			v = r.samples[x*(n-1)/max(width-1, 1)].TotalQueued
+		}
 		y := int(v * int64(height-1) / maxV)
 		grid[height-1-y][x] = '*'
 	}
@@ -160,9 +230,17 @@ type Event struct {
 // Tracer records injections and reroutes up to a cap (0 = unbounded).
 // It exists for tests and debugging; the adversary validators keep
 // their own richer records.
+//
+// Semantics at the cap are keep-OLDEST: once Cap events are stored,
+// later events are counted by Dropped() but not retained — the head of
+// the execution survives, the tail is lost. For the opposite (a
+// bounded tail of the most recent events, alloc-free, with phase
+// markers and JSONL dump) use obs.FlightRecorder, which supersedes
+// Tracer for debugging long runs.
 type Tracer struct {
-	Cap    int
-	events []Event
+	Cap     int
+	events  []Event
+	dropped int64
 }
 
 // OnStep implements Observer (no per-step event).
@@ -182,6 +260,7 @@ func (t *Tracer) OnReroute(now int64, p *packet.Packet, oldRoute []graph.EdgeID)
 
 func (t *Tracer) record(ev Event) {
 	if t.Cap > 0 && len(t.events) >= t.Cap {
+		t.dropped++
 		return
 	}
 	t.events = append(t.events, ev)
@@ -189,3 +268,7 @@ func (t *Tracer) record(ev Event) {
 
 // Events returns the recorded events (shared slice; read-only).
 func (t *Tracer) Events() []Event { return t.events }
+
+// Dropped returns the number of events discarded after Cap was
+// reached (keep-oldest semantics; 0 with an unbounded Tracer).
+func (t *Tracer) Dropped() int64 { return t.dropped }

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"aqt/internal/obs"
 	"aqt/internal/rational"
 )
 
@@ -44,6 +46,16 @@ type GridResult[P, V any] struct {
 // in input order. Points are independent by contract — probe must not
 // share mutable state between calls; build one engine per call.
 func SweepGrid[P, V any](points []P, probe func(P) V, workers int) []GridResult[P, V] {
+	return SweepGridOpt(points, probe, workers, nil)
+}
+
+// SweepGridOpt is SweepGrid with sweep telemetry: onProgress (nil =
+// none) is called on every probe start and finish with cumulative
+// done/total/in-flight counts, elapsed time and the slowest probe seen
+// so far. Progress emission is serialized under the tracker's mutex
+// and adds nothing to the probe path when onProgress is nil; results
+// are identical to SweepGrid either way.
+func SweepGridOpt[P, V any](points []P, probe func(P) V, workers int, onProgress obs.ProgressFunc) []GridResult[P, V] {
 	results := make([]GridResult[P, V], len(points))
 	for i := range points {
 		results[i].Point = points[i]
@@ -57,6 +69,7 @@ func SweepGrid[P, V any](points []P, probe func(P) V, workers int) []GridResult[
 	if workers > len(points) {
 		workers = len(points)
 	}
+	prog := newProgTracker(onProgress, len(points))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -64,7 +77,14 @@ func SweepGrid[P, V any](points []P, probe func(P) V, workers int) []GridResult[
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if prog == nil {
+					gridProbe(&results[i], probe)
+					continue
+				}
+				prog.begin()
+				t0 := time.Now()
 				gridProbe(&results[i], probe)
+				prog.end(time.Since(t0))
 			}
 		}()
 	}
@@ -74,6 +94,77 @@ func SweepGrid[P, V any](points []P, probe func(P) V, workers int) []GridResult[
 	close(jobs)
 	wg.Wait()
 	return results
+}
+
+// progTracker aggregates one sweep's progress counters and serializes
+// emission to the caller's ProgressFunc. A nil tracker no-ops, so the
+// probe loops stay branch-cheap without telemetry.
+type progTracker struct {
+	mu       sync.Mutex
+	fn       obs.ProgressFunc
+	start    time.Time
+	total    int
+	done     int
+	inFlight int
+	slowest  time.Duration
+}
+
+func newProgTracker(fn obs.ProgressFunc, total int) *progTracker {
+	if fn == nil {
+		return nil
+	}
+	return &progTracker{fn: fn, start: time.Now(), total: total}
+}
+
+func (p *progTracker) begin() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.inFlight++
+	p.emit()
+	p.mu.Unlock()
+}
+
+func (p *progTracker) end(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.inFlight--
+	p.done++
+	if d > p.slowest {
+		p.slowest = d
+	}
+	if p.done > p.total {
+		// Speculative probes can exceed the bisection estimate.
+		p.total = p.done
+	}
+	p.emit()
+	p.mu.Unlock()
+}
+
+// finish corrects the total downwards when a search resolved early
+// (fewer probes consumed than estimated) and emits the final report.
+func (p *progTracker) finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total = p.done
+	p.inFlight = 0
+	p.emit()
+	p.mu.Unlock()
+}
+
+func (p *progTracker) emit() {
+	p.fn(obs.SweepProgress{
+		Done:         p.done,
+		Total:        p.total,
+		InFlight:     p.inFlight,
+		Elapsed:      time.Since(p.start),
+		SlowestProbe: p.slowest,
+	})
 }
 
 func gridProbe[P, V any](res *GridResult[P, V], probe func(P) V) {
@@ -99,6 +190,16 @@ func gridProbe[P, V any](res *GridResult[P, V], probe func(P) V) {
 // sequential search would have hit it (panics at purely speculative
 // points the sequential search never reaches are discarded).
 func ParallelThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi rational.Rat, bits, workers int) rational.Rat {
+	return ParallelThresholdSearchOpt(probe, lo, hi, bits, workers, nil)
+}
+
+// ParallelThresholdSearchOpt is ParallelThresholdSearch with sweep
+// telemetry: onProgress (nil = none) receives probe start/finish
+// reports whose Total is the worst-case bisection probe count
+// (2 endpoint probes + one per halving); early resolution corrects it
+// downwards in the final report, and speculative probes beyond the
+// estimate push it up. The search result is unaffected.
+func ParallelThresholdSearchOpt(probe func(rate rational.Rat) Verdict, lo, hi rational.Rat, bits, workers int, onProgress obs.ProgressFunc) rational.Rat {
 	loI, hiI, den := snapGrid(lo, hi, bits)
 	if hiI < loI {
 		return rational.New(hiI+1, den)
@@ -106,6 +207,8 @@ func ParallelThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi ratio
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	prog := newProgTracker(onProgress, bisectionProbeEstimate(loI, hiI))
+	defer prog.finish()
 	st := searchState{loI: loI, hiI: hiI}
 	if workers <= 1 {
 		// A 1-worker pool has no speculation to offer; run the decision
@@ -115,11 +218,15 @@ func ParallelThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi ratio
 			if done {
 				return rational.New(result, den)
 			}
-			st = st.advance(probe(rational.New(idx, den)) == Diverging)
+			prog.begin()
+			t0 := time.Now()
+			v := probe(rational.New(idx, den))
+			prog.end(time.Since(t0))
+			st = st.advance(v == Diverging)
 		}
 	}
 
-	s := &speculator{probe: probe, den: den, cells: make(map[int64]*specCell)}
+	s := &speculator{probe: probe, den: den, cells: make(map[int64]*specCell), prog: prog}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -134,6 +241,17 @@ func ParallelThresholdSearch(probe func(rate rational.Rat) Verdict, lo, hi ratio
 		s.schedule(frontier(st, workers))
 		st = st.advance(s.await(idx))
 	}
+}
+
+// bisectionProbeEstimate returns the worst-case number of probes the
+// sequential decision sequence consumes: both endpoints plus one per
+// halving of the grid interval.
+func bisectionProbeEstimate(loI, hiI int64) int {
+	est := 2
+	for w := hiI - loI; w > 1; w = (w + 1) / 2 {
+		est++
+	}
+	return est
 }
 
 // frontier lists up to max distinct grid indices the search may probe
@@ -171,6 +289,7 @@ func frontier(st searchState, max int) []int64 {
 type speculator struct {
 	probe func(rational.Rat) Verdict
 	den   int64
+	prog  *progTracker // nil = no telemetry
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -244,7 +363,10 @@ func (s *speculator) worker() {
 		s.queue = s.queue[1:]
 		s.mu.Unlock()
 
+		s.prog.begin()
+		t0 := time.Now()
 		diverges, panicVal, panicked := s.runProbe(idx)
+		s.prog.end(time.Since(t0))
 
 		s.mu.Lock()
 		cell := s.cells[idx]

@@ -179,6 +179,13 @@ type RunReport struct {
 // Run runs eng for steps and classifies.
 func Run(eng *sim.Engine, steps, stride int64, growthThreshold float64) RunReport {
 	rec := sim.NewRecorder(stride)
+	// Bound the retained series so million-step stride-1 probes cannot
+	// grow memory with the horizon: past 2^14 samples the recorder
+	// doubles its effective stride in place. Peaks stay exact (they are
+	// tracked every step, independent of sampling) and every workload
+	// the repo's experiments run stays far below the bound, so existing
+	// series — and Classify verdicts — are unchanged.
+	rec.MaxSamples = 1 << 14
 	eng.AddObserver(rec)
 	eng.Run(steps)
 	return RunReport{
