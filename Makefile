@@ -4,11 +4,14 @@
 # max-queue and timestamp-ring bookkeeping live in — and over the
 # parallel probe layer (stability.SweepGrid / ParallelThresholdSearch)
 # and the experiment runners that fan out through it, plus the
-# observability layer (internal/obs) riding both hot paths.
+# observability layer (internal/obs) riding both hot paths. The race
+# package list also covers the leap engine (internal/sim leap windows,
+# adversary StaticUntil horizons, obs leap observers) — the
+# leap-vs-step differential property test runs under -race here.
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke fuzz
 
 verify: test vet race
 
@@ -45,6 +48,13 @@ sweep-smoke:
 # JSONL schema (exit nonzero on a schema break).
 trace-smoke:
 	$(GO) run ./cmd/aqtsim -topo geps -size 4 -policy FIFO -w 20 -rate 1/4 -steps 2000 -trace /tmp/aqt-trace-smoke.jsonl -metrics
+
+# Leap-mode end-to-end smoke: the leap-vs-step differential tests plus
+# a long cmd/aqtsim run under the extremal burst adversary with -leap,
+# whose output (modulo ns/step) must match the stepped run exactly.
+leap-smoke:
+	$(GO) test ./internal/sim -run 'Leap' -count 1
+	$(GO) run ./cmd/aqtsim -topo line -size 8 -adv burst -w 512 -rate 1/4 -maxlen 3 -steps 100000 -leap
 
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary

@@ -76,6 +76,8 @@ func main() {
 	maxLen := flag.Int("maxlen", 3, "max route length d")
 	steps := flag.Int64("steps", 10000, "simulation steps")
 	seed := flag.Int64("seed", 1, "adversary seed")
+	advName := flag.String("adv", "random", "adversary: random (smooth (w,r) traffic) | burst (extremal single-step bursts)")
+	leap := flag.Bool("leap", false, "run in leap mode (batch-advance provably static windows; identical results)")
 	validate := flag.Bool("validate", true, "run the (w,r) compliance validator")
 	csv := flag.String("csv", "", "write the queue-size series to this file")
 	trace := flag.String("trace", "", "write a flight-recorder JSONL event trace to this file")
@@ -108,7 +110,18 @@ func main() {
 		die(err)
 	}
 
-	adv := adversary.NewRandomWR(g, *w, rate, *maxLen, *seed)
+	var adv sim.Adversary
+	switch *advName {
+	case "random":
+		adv = adversary.NewRandomWR(g, *w, rate, *maxLen, *seed)
+	case "burst":
+		// The extremal (w,r) burst adversary reports static horizons
+		// between bursts, so -leap has windows to skip; RandomWR draws
+		// every step and never leaps.
+		adv = adversary.MaxWindowBurst(g, *w, rate, *maxLen)
+	default:
+		die(fmt.Errorf("unknown adversary %q (random|burst)", *advName))
+	}
 	eng := sim.New(g, pol, adv)
 	rec := sim.NewRecorder(maxI64(*steps/512, 1))
 	eng.AddObserver(rec)
@@ -131,11 +144,20 @@ func main() {
 		meter = obs.NewMeter(nil)
 		eng.AddObserver(meter)
 	}
-	eng.Run(*steps)
+	if *leap {
+		eng.RunLeap(*steps)
+	} else {
+		eng.Run(*steps)
+	}
 
 	snap := eng.Snap()
 	fmt.Printf("topology %s(%d): %d nodes, %d edges\n", *topo, *size, g.NumNodes(), g.NumEdges())
-	fmt.Printf("policy %s, (w=%d, r=%v) adversary, d<=%d, %d steps\n", pol.Name(), *w, rate, *maxLen, *steps)
+	fmt.Printf("policy %s, (w=%d, r=%v) %s adversary, d<=%d, %d steps\n", pol.Name(), *w, rate, *advName, *maxLen, *steps)
+	if *leap {
+		ls := eng.Leaps()
+		fmt.Printf("leap: %d windows (%d idle, %d drain) covering %d of %d steps\n",
+			ls.Windows, ls.Idle, ls.Drain, ls.Steps, *steps)
+	}
 	fmt.Printf("injected %d, absorbed %d, in flight %d\n", snap.Injected, snap.Absorbed, snap.TotalQueued)
 	fmt.Printf("peak backlog %d; max single buffer %d (edge %s)\n",
 		rec.PeakTotal(), snap.MaxQueueLen, g.EdgeName(snap.MaxQueueAt))

@@ -22,7 +22,10 @@
 // SweepParallel pair (a 7-point rate sweep
 // run sequentially vs. fanned across the stability.SweepGrid worker
 // pool — the parallel entry's ns/op divides by ~min(7, GOMAXPROCS) on
-// a multicore machine).
+// a multicore machine), and the leap-mode pairs (StepLeap/Burst: a
+// periodic burst drain run stepped vs. leaped; RunLeapE13: a Lemma 3.6
+// pump with a long quiet tail, the long-horizon regime RunLeap exists
+// for — the leap entry must beat its step twin by >= 10x).
 //
 // Every entry is measured -count times (default 5) and the median run
 // (by ns/op) is recorded, so a single noisy run on a loaded machine
@@ -45,6 +48,7 @@ import (
 
 	"aqt/internal/adversary"
 	"aqt/internal/baselines"
+	"aqt/internal/core"
 	"aqt/internal/gadget"
 	"aqt/internal/graph"
 	"aqt/internal/obs"
@@ -364,6 +368,86 @@ func specs() []benchSpec {
 					}
 				})
 				return res, sim.StepStats{}
+			},
+		})
+	}
+
+	// The leap-mode equivalence pair: a single-edge burst adversary
+	// (64-packet burst every 32768 steps, all packets final on
+	// injection) run over a 2^17-step horizon. The step entry pays every
+	// step; the leap entry covers each period with one drain window and
+	// one idle window. One op is the whole run, so the ns/op ratio is
+	// the leap speedup on this workload. The per-packet drain work is
+	// identical on both sides, so the burst must stay small relative to
+	// the idle gap for the skipped steps to dominate the ratio.
+	for _, mode := range []string{"step", "leap"} {
+		mode := mode
+		out = append(out, benchSpec{
+			name: "StepLeap/Burst/" + mode,
+			run: func() (testing.BenchmarkResult, sim.StepStats) {
+				const horizon = 1 << 17
+				g := graph.Line(8)
+				route := []graph.EdgeID{g.MustEdge("e1")}
+				var eng *sim.Engine
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						adv := adversary.NewBurstScript(adversary.BurstStream{
+							Name: "burst", Start: 1, Period: 32768, Burst: 64,
+							Budget: -1, Route: route,
+						})
+						eng = sim.New(g, policy.FIFO{}, adv)
+						b.StartTimer()
+						if mode == "leap" {
+							eng.RunLeap(horizon)
+						} else {
+							eng.Run(horizon)
+						}
+					}
+				})
+				return res, eng.Stats()
+			},
+		})
+	}
+
+	// The long-horizon instability regime RunLeap exists for: one
+	// Lemma 3.6 pump (stepped on both sides — its streams pin the static
+	// horizon) followed by a drain-out and a long provably-idle tail to
+	// a fixed 2^25-step horizon. internal/stability and the E13/B1
+	// runners run exactly this shape via RunLeap; the leap entry must
+	// beat the step entry by >= 10x. The pump uses the nearhalf seed
+	// (s=4000-scale, here 1000) rather than 4*S0: the pump's per-packet
+	// work is paid identically on both sides, so a large seed would
+	// drown the idle tail the leap skips and flatten the ratio.
+	for _, mode := range []string{"step", "leap"} {
+		mode := mode
+		out = append(out, benchSpec{
+			name: "RunLeapE13/" + mode,
+			run: func() (testing.BenchmarkResult, sim.StepStats) {
+				p := core.ParamsFor(rational.New(1, 2), 12)
+				const seed = 1000
+				const horizon = 1 << 25
+				var eng *sim.Engine
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						c := gadget.NewChain(p.N, 2, false)
+						eng = sim.New(c.G, policy.FIFO{}, nil)
+						c.SeedInvariant(eng, 1, seed)
+						var rep core.PumpReport
+						seq := adversary.NewSequence(core.PumpPhase(p, c, 1, nil, &rep))
+						eng.SetAdversary(seq)
+						b.StartTimer()
+						if mode == "leap" {
+							eng.RunLeap(horizon)
+						} else {
+							eng.Run(horizon)
+						}
+					}
+				})
+				return res, eng.Stats()
 			},
 		})
 	}

@@ -43,6 +43,7 @@ func NewBurstScript(streams ...BurstStream) *BurstScript {
 type BurstScript struct {
 	streams []BurstStream
 	sent    []int64
+	lastT   int64 // last step Inject ran at (0 before the first)
 }
 
 // PreStep implements sim.Adversary.
@@ -54,6 +55,7 @@ func (b *BurstScript) Inject(e *sim.Engine) []packet.Injection {
 		b.sent = make([]int64, len(b.streams))
 	}
 	t := e.Now()
+	b.lastT = t
 	var out []packet.Injection
 	for i, st := range b.streams {
 		if t < st.Start || (t-st.Start)%st.Period != 0 {
@@ -71,6 +73,30 @@ func (b *BurstScript) Inject(e *sim.Engine) []packet.Injection {
 		b.sent[i] += n
 	}
 	return out
+}
+
+// StaticUntil implements sim.StaticAdversary: a burst schedule is a
+// pure function of the step index, so the script is provably silent up
+// to one step before the earliest upcoming burst of any stream with
+// budget left. The horizon is computed from the last step Inject ran
+// at; inside leaped windows it goes stale but only conservatively (the
+// reported burst time stays in the future until the engine steps it).
+func (b *BurstScript) StaticUntil() int64 {
+	h := sim.Forever
+	from := b.lastT + 1
+	for i, st := range b.streams {
+		if st.Budget >= 0 && b.sent != nil && b.sent[i] >= st.Budget {
+			continue
+		}
+		next := st.Start
+		if from > next {
+			next += (from - st.Start + st.Period - 1) / st.Period * st.Period
+		}
+		if next-1 < h {
+			h = next - 1
+		}
+	}
+	return h
 }
 
 // MaxWindowBurst builds a bursty (w,r) adversary on g: one burst

@@ -90,6 +90,9 @@ func (r *ScheduleRecorder) Len() int {
 type Replay struct {
 	byStep map[int64][]packet.Injection
 	last   int64
+	steps  []int64 // distinct injection steps, increasing
+	cursor int     // index of the first step not yet known to be past
+	lastT  int64   // last step Inject ran at (0 before the first)
 }
 
 // NewReplay builds a Replay from a finished recording.
@@ -107,6 +110,10 @@ func NewReplay(rec []RecordedInjection) *Replay {
 			rp.last = ri.Step
 		}
 	}
+	for step := range rp.byStep {
+		rp.steps = append(rp.steps, step)
+	}
+	sort.Slice(rp.steps, func(i, j int) bool { return rp.steps[i] < rp.steps[j] })
 	return rp
 }
 
@@ -115,7 +122,23 @@ func (*Replay) PreStep(*sim.Engine) {}
 
 // Inject implements sim.Adversary.
 func (rp *Replay) Inject(e *sim.Engine) []packet.Injection {
+	rp.lastT = e.Now()
 	return rp.byStep[e.Now()]
+}
+
+// StaticUntil implements sim.StaticAdversary: a recording is a pure
+// schedule, so the replay is provably silent up to one step before the
+// next recorded injection step after the last step Inject ran at
+// (conservatively stale inside leaped windows, like BurstScript), and
+// forever once the recording is exhausted.
+func (rp *Replay) StaticUntil() int64 {
+	for rp.cursor < len(rp.steps) && rp.steps[rp.cursor] <= rp.lastT {
+		rp.cursor++
+	}
+	if rp.cursor == len(rp.steps) {
+		return sim.Forever
+	}
+	return rp.steps[rp.cursor] - 1
 }
 
 // LastStep returns the last step with injections.

@@ -67,6 +67,14 @@ func NewRerouter(rate rational.Rat) *Rerouter {
 // OnStep implements sim.Observer.
 func (r *Rerouter) OnStep(*sim.Engine) {}
 
+// AcceptLeap implements sim.LeapObserver: the rerouter tracks edge
+// first-use from injections and reroutes only, so static windows (no
+// injections, no reroutes) carry nothing to track.
+func (r *Rerouter) AcceptLeap(sim.LeapKind) bool { return true }
+
+// OnLeap implements sim.LeapObserver (nothing to track).
+func (r *Rerouter) OnLeap(*sim.Engine, sim.LeapInfo) {}
+
 // OnInject implements sim.InjectionObserver.
 func (r *Rerouter) OnInject(t int64, p *packet.Packet) {
 	r.note(t, p.Route)

@@ -1,0 +1,178 @@
+// Unit tests for the StaticUntil horizons the leap engine consumes.
+// The contract under test (sim.StaticAdversary): for every step t with
+// Now() < t <= StaticUntil(), PreStep and Inject are provably silent
+// AND skipping them leaves the adversary in an equivalent state.
+package adversary
+
+import (
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+func lineRoute(g *graph.Graph, names ...string) []graph.EdgeID {
+	route := make([]graph.EdgeID, len(names))
+	for i, n := range names {
+		route[i] = g.MustEdge(n)
+	}
+	return route
+}
+
+// TestScriptStaticUntil: unstarted streams bound the horizon at
+// Start-1; a started stream ticks its pacer every step and so pins the
+// horizon into the past until it exhausts; an exhausted script is
+// static forever; a PreStep hook disables leaping outright.
+func TestScriptStaticUntil(t *testing.T) {
+	g := graph.Line(6)
+	s := NewScript(
+		Stream{Name: "a", Start: 50, Rate: rational.New(1, 2), Budget: 4, Route: lineRoute(g, "e1")},
+		Stream{Name: "b", Start: 200, Rate: rational.New(1, 1), Budget: 2, Route: lineRoute(g, "e2")},
+	)
+	if h := s.StaticUntil(); h != 49 {
+		t.Errorf("unstarted script: StaticUntil %d, want 49 (earliest Start-1)", h)
+	}
+	e := sim.New(g, policy.FIFO{}, s)
+	e.Run(52) // stream a is live (1 of 4 injected): horizon pinned <= now
+	if h := s.StaticUntil(); h > e.Now() {
+		t.Errorf("live paced stream: StaticUntil %d > now %d (would leap over pacer ticks)", h, e.Now())
+	}
+	e.Run(8) // t=60: stream a exhausted its budget; only b (Start 200) is left
+	if h := s.StaticUntil(); h != 199 {
+		t.Errorf("one stream exhausted: StaticUntil %d, want 199", h)
+	}
+	e.Run(200) // both budgets exhausted by t=260
+	if !s.Idle() {
+		t.Fatal("script should be idle after both budgets exhaust")
+	}
+	if h := s.StaticUntil(); h != sim.Forever {
+		t.Errorf("exhausted script: StaticUntil %d, want Forever", h)
+	}
+	s.SetPreStep(func(*sim.Engine) {})
+	if h := s.StaticUntil(); h != 0 {
+		t.Errorf("script with PreStep hook: StaticUntil %d, want 0", h)
+	}
+}
+
+// TestBurstScriptStaticUntil: the horizon is one step before the
+// earliest upcoming burst of any stream with budget left, computed from
+// the last step Inject ran at; exhausted streams stop contributing.
+func TestBurstScriptStaticUntil(t *testing.T) {
+	g := graph.Line(6)
+	b := NewBurstScript(
+		BurstStream{Name: "a", Start: 10, Period: 100, Burst: 3, Budget: 6, Route: lineRoute(g, "e1")},
+		BurstStream{Name: "b", Start: 35, Period: 100, Burst: 2, Budget: -1, Route: lineRoute(g, "e2")},
+	)
+	if h := b.StaticUntil(); h != 9 {
+		t.Errorf("fresh script: StaticUntil %d, want 9", h)
+	}
+	e := sim.New(g, policy.FIFO{}, b)
+	e.Run(10) // the t=10 burst of stream a just fired
+	if h := b.StaticUntil(); h != 34 {
+		t.Errorf("after first burst: StaticUntil %d, want 34 (stream b's t=35 burst)", h)
+	}
+	e.Run(25) // t=35: stream b fired; next event is a's t=110 burst
+	if h := b.StaticUntil(); h != 109 {
+		t.Errorf("between periods: StaticUntil %d, want 109", h)
+	}
+	e.Run(75) // t=110: stream a's second burst exhausts its budget of 6
+	if h := b.StaticUntil(); h != 134 {
+		t.Errorf("a exhausted: StaticUntil %d, want 134 (b's t=135 burst only)", h)
+	}
+}
+
+// TestBurstScriptStaticUntilUnbounded: a script whose every stream has
+// exhausted its budget is static forever.
+func TestBurstScriptStaticUntilExhausted(t *testing.T) {
+	g := graph.Line(4)
+	b := NewBurstScript(
+		BurstStream{Name: "a", Start: 1, Period: 10, Burst: 5, Budget: 10, Route: lineRoute(g, "e1")},
+	)
+	e := sim.New(g, policy.FIFO{}, b)
+	e.Run(12) // bursts at t=1 and t=11 consume the whole budget
+	if h := b.StaticUntil(); h != sim.Forever {
+		t.Errorf("exhausted burst script: StaticUntil %d, want Forever", h)
+	}
+}
+
+// TestReplayStaticUntil: the horizon tracks the next recorded
+// injection step and reaches Forever once the recording is exhausted.
+func TestReplayStaticUntil(t *testing.T) {
+	g := graph.Line(6)
+	rec := []RecordedInjection{
+		{Step: 7, Route: lineRoute(g, "e1")},
+		{Step: 7, Route: lineRoute(g, "e2")},
+		{Step: 31, Route: lineRoute(g, "e1", "e2")},
+	}
+	rp := NewReplay(rec)
+	if h := rp.StaticUntil(); h != 6 {
+		t.Errorf("fresh replay: StaticUntil %d, want 6", h)
+	}
+	e := sim.New(g, policy.FIFO{}, rp)
+	e.Run(7)
+	if h := rp.StaticUntil(); h != 30 {
+		t.Errorf("after t=7 injections: StaticUntil %d, want 30", h)
+	}
+	e.Run(24) // t=31 injected; recording exhausted
+	if h := rp.StaticUntil(); h != sim.Forever {
+		t.Errorf("exhausted replay: StaticUntil %d, want Forever", h)
+	}
+	if e.Injected() != 3 {
+		t.Fatalf("replay injected %d packets, want 3", e.Injected())
+	}
+}
+
+// TestSequenceStaticUntil: a Sequence only reports a horizon when the
+// current phase has been entered, declares an Until bound, and wraps a
+// static inner adversary; the horizon is the min of the two. A
+// finished Sequence is static forever.
+func TestSequenceStaticUntil(t *testing.T) {
+	g := graph.Line(6)
+	end := int64(90)
+	inner := NewBurstScript(
+		BurstStream{Name: "a", Start: 40, Period: 1000, Burst: 2, Budget: 2, Route: lineRoute(g, "e1")},
+	)
+	seq := NewSequence(Phase{
+		Name:  "test phase",
+		Enter: func(*sim.Engine) sim.Adversary { return inner },
+		Done:  func(e *sim.Engine) bool { return e.Now() > end },
+		Until: &end,
+	})
+	if h := seq.StaticUntil(); h != 0 {
+		t.Errorf("unentered phase: StaticUntil %d, want 0", h)
+	}
+	e := sim.New(g, policy.FIFO{}, seq)
+	e.Run(1) // enters the phase
+	if h := seq.StaticUntil(); h != 39 {
+		t.Errorf("entered phase: StaticUntil %d, want 39 (inner burst bound)", h)
+	}
+	e.Run(39) // burst fired at t=40, budget exhausted; inner is Forever
+	if h := seq.StaticUntil(); h != end {
+		t.Errorf("quiet phase: StaticUntil %d, want %d (phase Until bound)", h, end)
+	}
+	e.Run(60) // past end: Done fires, sequence finishes
+	if !seq.Finished() {
+		t.Fatal("sequence should have finished")
+	}
+	if h := seq.StaticUntil(); h != sim.Forever {
+		t.Errorf("finished sequence: StaticUntil %d, want Forever", h)
+	}
+}
+
+// TestSequenceStaticUntilNoUntil: a phase without an Until bound never
+// authorizes leaping, even with a static inner adversary.
+func TestSequenceStaticUntilNoUntil(t *testing.T) {
+	g := graph.Line(4)
+	seq := NewSequence(Phase{
+		Name:  "unbounded",
+		Enter: func(*sim.Engine) sim.Adversary { return sim.NopAdversary{} },
+		Done:  func(e *sim.Engine) bool { return e.Now() > 50 },
+	})
+	e := sim.New(g, policy.FIFO{}, seq)
+	e.Run(1)
+	if h := seq.StaticUntil(); h != 0 {
+		t.Errorf("phase without Until: StaticUntil %d, want 0", h)
+	}
+}

@@ -119,6 +119,30 @@ func (s *Script) Inject(e *sim.Engine) []packet.Injection {
 	return out
 }
 
+// StaticUntil implements sim.StaticAdversary. A stream that has not
+// started yet is provably silent through Start−1 and skipping those
+// steps leaves it untouched (Inject returns before its pacer ticks).
+// A started stream, by contrast, ticks its pacer every step — even
+// steps yielding zero packets advance pacing state — so it pins the
+// horizon into the past (Start−1 < now), disabling leaps until it
+// exhausts its budget. A PreStep hook could do anything, so it
+// disables leaping outright.
+func (s *Script) StaticUntil() int64 {
+	if s.pre != nil {
+		return 0
+	}
+	h := sim.Forever
+	for _, rs := range s.streams {
+		if rs.done() {
+			continue
+		}
+		if rs.Start-1 < h {
+			h = rs.Start - 1
+		}
+	}
+	return h
+}
+
 // Idle reports whether every stream has exhausted its budget.
 func (s *Script) Idle() bool {
 	for _, rs := range s.streams {
@@ -156,6 +180,16 @@ type Phase struct {
 	Name  string
 	Enter func(e *sim.Engine) sim.Adversary
 	Done  func(e *sim.Engine) bool
+
+	// Until, when set, points at the phase's leap horizon: an absolute
+	// step H such that Done is guaranteed false for every step t <= H,
+	// so the Sequence cannot advance inside (now, H]. Phases with a
+	// known end time point it at the variable their Enter hook assigns
+	// (the lemma drains and pumps set end = τ+…) — a pointer rather
+	// than a closure so constructing a phase stays allocation-free; it
+	// is only read after Enter ran. Leaving Until nil merely disables
+	// leaping while the phase is current. See Sequence.StaticUntil.
+	Until *int64
 
 	adv sim.Adversary
 }
@@ -214,6 +248,32 @@ func (q *Sequence) Inject(e *sim.Engine) []packet.Injection {
 		return q.phases[q.cur].adv.Inject(e)
 	}
 	return nil
+}
+
+// StaticUntil implements sim.StaticAdversary: the schedule is static
+// up to the sooner of the current phase's Done horizon (Until) and its
+// inner adversary's own static horizon. Both must be known — a phase
+// whose Enter has not yet run could do anything at its first PreStep,
+// and advancing phases mid-window would skip Annotate markers and
+// onSwap callbacks — so any missing piece reports "no guarantee".
+// A finished Sequence is permanently silent.
+func (q *Sequence) StaticUntil() int64 {
+	if q.Finished() {
+		return sim.Forever
+	}
+	ph := &q.phases[q.cur]
+	if ph.adv == nil || ph.Until == nil {
+		return 0
+	}
+	inner, ok := ph.adv.(sim.StaticAdversary)
+	if !ok {
+		return 0
+	}
+	h := *ph.Until
+	if ih := inner.StaticUntil(); ih < h {
+		h = ih
+	}
+	return h
 }
 
 // PhaseName returns the current phase's name, or "done".

@@ -78,6 +78,14 @@ func NewRateValidator(rate rational.Rat) *RateValidator {
 // OnStep implements sim.Observer.
 func (rv *RateValidator) OnStep(*sim.Engine) {}
 
+// AcceptLeap implements sim.LeapObserver: the validator only records
+// injections and reroutes, and static windows contain neither, so
+// leaped windows of either kind carry nothing to record.
+func (rv *RateValidator) AcceptLeap(sim.LeapKind) bool { return true }
+
+// OnLeap implements sim.LeapObserver (nothing to record).
+func (rv *RateValidator) OnLeap(*sim.Engine, sim.LeapInfo) {}
+
 // OnInject implements sim.InjectionObserver.
 func (rv *RateValidator) OnInject(t int64, p *packet.Packet) {
 	if t == 0 {
@@ -230,6 +238,14 @@ func NewWindowValidator(w int64, rate rational.Rat) *WindowValidator {
 
 // OnStep implements sim.Observer.
 func (wv *WindowValidator) OnStep(*sim.Engine) {}
+
+// AcceptLeap implements sim.LeapObserver: like RateValidator, the
+// window validator only records injections and reroutes, of which
+// static windows have none.
+func (wv *WindowValidator) AcceptLeap(sim.LeapKind) bool { return true }
+
+// OnLeap implements sim.LeapObserver (nothing to record).
+func (wv *WindowValidator) OnLeap(*sim.Engine, sim.LeapInfo) {}
 
 // OnInject implements sim.InjectionObserver.
 func (wv *WindowValidator) OnInject(t int64, p *packet.Packet) {

@@ -121,7 +121,7 @@ func RunDepthPump(r rational.Rat, n int, sCap int64) DepthPumpResult {
 	var rep core.PumpReport
 	seq := adversary.NewSequence(core.PumpPhase(p, c, 1, nil, &rep))
 	e.SetAdversary(seq)
-	e.RunUntil(func(*sim.Engine) bool { return seq.Finished() }, 8*s+int64(8*n))
+	e.RunLeapUntil(func(*sim.Engine) bool { return seq.Finished() }, 8*s+int64(8*n))
 	return DepthPumpResult{
 		N:          n,
 		Rate:       r,

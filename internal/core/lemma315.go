@@ -135,5 +135,6 @@ func BootstrapPhase(p Params, c *gadget.Chain, k int, rr *adversary.Rerouter, re
 		Name:  fmt.Sprintf("lemma3.15 bootstrap g%d", k),
 		Enter: enter,
 		Done:  done,
+		Until: &end,
 	}
 }

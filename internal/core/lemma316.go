@@ -50,7 +50,8 @@ func DrainPhase(p Params, c *gadget.Chain, rep *DrainReport) adversary.Phase {
 		rep.Elsewhere = e.TotalQueued() - rep.QEgress
 		return true
 	}
-	return adversary.Phase{Name: "lemma3.13 drain", Enter: enter, Done: done}
+	return adversary.Phase{Name: "lemma3.13 drain", Enter: enter, Done: done,
+		Until: &end}
 }
 
 // StitchReport records one application of the Lemma 3.16 adversary.
@@ -157,7 +158,8 @@ func StitchPhase(p Params, c *gadget.Chain, rep *StitchReport) adversary.Phase {
 		return true
 	}
 
-	return adversary.Phase{Name: "lemma3.16 stitch", Enter: enter, Done: done}
+	return adversary.Phase{Name: "lemma3.16 stitch", Enter: enter, Done: done,
+		Until: &end}
 }
 
 // StitchPrediction returns the paper's exact output size floor(r³S)

@@ -154,6 +154,7 @@ func PumpPhase(p Params, c *gadget.Chain, k int, rr *adversary.Rerouter, rep *Pu
 		Name:  fmt.Sprintf("lemma3.6 pump g%d→g%d", k, k+1),
 		Enter: enter,
 		Done:  done,
+		Until: &end,
 	}
 }
 

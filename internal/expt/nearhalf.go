@@ -68,6 +68,6 @@ func runOnePump(p core.Params, s int64) (float64, bool) {
 	var rep core.PumpReport
 	seq := adversary.NewSequence(core.PumpPhase(p, c, 1, nil, &rep))
 	e.SetAdversary(seq)
-	ok := e.RunUntil(func(*sim.Engine) bool { return seq.Finished() }, 8*s+64)
+	ok := e.RunLeapUntil(func(*sim.Engine) bool { return seq.Finished() }, 8*s+64)
 	return rep.GrowthFactor(), ok
 }

@@ -33,9 +33,16 @@ const (
 	EvReroute
 	EvMarker
 	EvFailure
+	EvLeap
 )
 
-var kindNames = [...]string{"inject", "send", "absorb", "reroute", "marker", "failure"}
+var kindNames = [...]string{"inject", "send", "absorb", "reroute", "marker", "failure", "leap"}
+
+// Labels of leap events, by window kind.
+const (
+	labelLeapIdle  = "leap.idle"
+	labelLeapDrain = "leap.drain"
+)
 
 // String returns the JSONL name of the kind.
 func (k EventKind) String() string {
@@ -54,6 +61,8 @@ func (k EventKind) String() string {
 //	reroute: Pkt, Edge (current edge), Hops (new route length), Aux (old route length)
 //	marker:  Label (annotation, e.g. an adversary phase name)
 //	failure: Label (the invariant-violation message)
+//	leap:    Hops (window length in steps; T is the window's last step),
+//	         Label ("leap.idle" or "leap.drain")
 //
 // Label always stores a string that existed before the event fired
 // (stream names, phase names built at construction time), so recording
@@ -139,6 +148,25 @@ func (r *FlightRecorder) OnMarker(t int64, label string) {
 // their own lifecycle without an engine (cmd/experiments).
 func (r *FlightRecorder) Mark(t int64, label string) { r.OnMarker(t, label) }
 
+// AcceptLeap implements sim.LeapObserver. The recorder accepts both
+// window kinds: a leaped window's per-step activity (the sends and
+// absorptions of a drain) is summarized by one leap event instead of
+// being recorded individually — the trade the ring makes anyway by
+// evicting old events. Refusing would force the engine to step just to
+// fill the ring with events a long run evicts moments later.
+func (r *FlightRecorder) AcceptLeap(sim.LeapKind) bool { return true }
+
+// OnLeap implements sim.LeapObserver: one event per leaped window,
+// timestamped with the window's last step, its length in Hops.
+func (r *FlightRecorder) OnLeap(e *sim.Engine, info sim.LeapInfo) {
+	label := labelLeapIdle
+	if info.Kind == sim.LeapDrain {
+		label = labelLeapDrain
+	}
+	r.record(Event{T: info.To, Kind: EvLeap, Pkt: -1, Edge: graph.NoEdge,
+		Hops: int(info.Steps()), Label: label})
+}
+
 // OnFailure implements sim.FailureObserver: it records a failure event
 // and auto-dumps the ring to AutoDump on the first failure.
 func (r *FlightRecorder) OnFailure(e *sim.Engine, reason string) {
@@ -200,12 +228,18 @@ type jsonEvent struct {
 }
 
 // DumpJSONL writes the retained events as one JSON object per line,
-// oldest first. Packet fields are omitted on marker/failure lines;
+// oldest first. Packet fields are omitted on marker/failure lines, and
+// leap lines carry only the window length (hops) and label;
 // ValidateJSONL checks the inverse schema.
 func (r *FlightRecorder) DumpJSONL(w io.Writer) error {
 	for _, ev := range r.Events() {
 		je := jsonEvent{T: ev.T, Kind: ev.Kind.String(), Label: ev.Label}
-		if ev.Kind != EvMarker && ev.Kind != EvFailure {
+		switch ev.Kind {
+		case EvMarker, EvFailure:
+		case EvLeap:
+			hops := ev.Hops
+			je.Hops = &hops
+		default:
 			pkt, edge, hops, aux := ev.Pkt, int64(ev.Edge), ev.Hops, ev.Aux
 			je.Pkt, je.Edge, je.Hops = &pkt, &edge, &hops
 			if ev.Kind == EvReroute {

@@ -1,0 +1,261 @@
+// Leap-mode coverage for the observability layer, plus the boundary
+// fixes that rode along: the Meter's closed-form window reconstruction
+// must be indistinguishable from stepping, the flight recorder must
+// emit schema-valid leap events, ETA must clamp its degenerate inputs,
+// and the histogram quantile/merge edges must be well-defined.
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/obs"
+	"aqt/internal/policy"
+	"aqt/internal/sim"
+)
+
+// burstEngine builds the standard leap workload: periodic single-edge
+// bursts with long provably-idle gaps.
+func burstEngine() *sim.Engine {
+	g := graph.Line(8)
+	adv := adversary.NewBurstScript(adversary.BurstStream{
+		Name: "burst", Start: 1, Period: 64, Burst: 24, Budget: -1,
+		Route: []graph.EdgeID{g.MustEdge("e1")},
+	})
+	return sim.New(g, policy.FIFO{}, adv)
+}
+
+// TestMeterLeapEquivalence: a leaped run with a Meter attached must
+// produce the identical registry snapshot as a stepped run — idle
+// windows are reconstructed by ObserveN, drain windows are refused and
+// stepped through (the latency histogram needs each absorption).
+func TestMeterLeapEquivalence(t *testing.T) {
+	const steps = 1000
+	leap, step := burstEngine(), burstEngine()
+	lm, sm := obs.NewMeter(nil), obs.NewMeter(nil)
+	leap.AddObserver(lm)
+	step.AddObserver(sm)
+	leap.RunLeap(steps)
+	step.Run(steps)
+	lm.Finish(leap)
+	sm.Finish(step)
+	ls, ss := lm.Registry().Snapshot(), sm.Registry().Snapshot()
+	// Nanos is the one nondeterministic piece of state and the Meter
+	// does not record it, so full deep equality is the contract.
+	if !reflect.DeepEqual(ls, ss) {
+		t.Errorf("meter snapshots differ:\nleap: %+v\nstep: %+v", ls, ss)
+	}
+	if leap.Leaps().Idle == 0 {
+		t.Error("metered run leaped no idle windows")
+	}
+	if leap.Leaps().Drain != 0 {
+		t.Error("meter must refuse drain windows (latency needs absorptions)")
+	}
+}
+
+// TestFlightRecorderLeapEvents: the flight recorder accepts every
+// window kind, records one summary event per window, and its dump
+// passes the JSONL schema (including the new leap lines).
+func TestFlightRecorderLeapEvents(t *testing.T) {
+	const steps = 1000
+	e := burstEngine()
+	fr := obs.NewFlightRecorder(4096)
+	e.AddEventObserver(fr)
+	e.RunLeap(steps)
+	ls := e.Leaps()
+	if ls.Windows == 0 || ls.Drain == 0 {
+		t.Fatalf("traced run should leap idle and drain windows, got %+v", ls)
+	}
+	var buf bytes.Buffer
+	if err := fr.DumpJSONL(&buf); err != nil {
+		t.Fatalf("DumpJSONL: %v", err)
+	}
+	dump := buf.String()
+	n, err := obs.ValidateJSONL(strings.NewReader(dump))
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("empty dump")
+	}
+	idle := strings.Count(dump, `"label":"leap.idle"`)
+	drain := strings.Count(dump, `"label":"leap.drain"`)
+	if int64(idle) != ls.Idle || int64(drain) != ls.Drain {
+		t.Errorf("dump has %d idle / %d drain leap lines, engine leaped %d/%d",
+			idle, drain, ls.Idle, ls.Drain)
+	}
+	// Leap lines carry the window length as hops and no packet fields.
+	for _, line := range strings.Split(dump, "\n") {
+		if !strings.Contains(line, `"kind":"leap"`) {
+			continue
+		}
+		if strings.Contains(line, `"pkt"`) || strings.Contains(line, `"edge"`) {
+			t.Errorf("leap line carries packet fields: %s", line)
+		}
+		if !strings.Contains(line, `"hops"`) {
+			t.Errorf("leap line missing hops window length: %s", line)
+		}
+	}
+}
+
+// TestValidateJSONLLeapLines pins the schema rules for leap lines
+// directly: hops must be present and positive, the label non-empty.
+func TestValidateJSONLLeapLines(t *testing.T) {
+	ok := `{"t":10,"kind":"leap","hops":5,"label":"leap.idle"}`
+	if n, err := obs.ValidateJSONL(strings.NewReader(ok)); err != nil || n != 1 {
+		t.Errorf("valid leap line rejected: n=%d err=%v", n, err)
+	}
+	for _, bad := range []string{
+		`{"t":10,"kind":"leap","label":"leap.idle"}`,          // no hops
+		`{"t":10,"kind":"leap","hops":0,"label":"leap.idle"}`, // empty window
+		`{"t":10,"kind":"leap","hops":5}`,                     // no label
+	} {
+		if _, err := obs.ValidateJSONL(strings.NewReader(bad)); err == nil {
+			t.Errorf("schema accepted invalid leap line: %s", bad)
+		}
+	}
+}
+
+// TestETAClampsDegenerateReports is the status-line boundary fix: a
+// report with no finished probes, a shrunken total (early-resolved
+// search) or a non-positive elapsed time must yield "no estimate", not
+// a divide-by-zero or a negative duration.
+func TestETAClampsDegenerateReports(t *testing.T) {
+	cases := []struct {
+		name string
+		p    obs.SweepProgress
+	}{
+		{"zero done", obs.SweepProgress{Done: 0, Total: 10, Elapsed: time.Second}},
+		{"negative done", obs.SweepProgress{Done: -3, Total: 10, Elapsed: time.Second}},
+		{"total == done", obs.SweepProgress{Done: 10, Total: 10, Elapsed: time.Second}},
+		{"total < done (early resolve)", obs.SweepProgress{Done: 10, Total: 7, Elapsed: time.Second}},
+		{"zero elapsed", obs.SweepProgress{Done: 3, Total: 10}},
+		{"negative elapsed", obs.SweepProgress{Done: 3, Total: 10, Elapsed: -time.Second}},
+	}
+	for _, tc := range cases {
+		if eta := tc.p.ETA(); eta != 0 {
+			t.Errorf("%s: ETA() = %v, want 0", tc.name, eta)
+		}
+		// String must render every degenerate report without an eta field.
+		if s := tc.p.String(); strings.Contains(s, "eta") {
+			t.Errorf("%s: String() advertises an eta: %q", tc.name, s)
+		}
+	}
+	// Sanity: the healthy case still estimates.
+	healthy := obs.SweepProgress{Done: 2, Total: 6, Elapsed: 2 * time.Second}
+	if eta := healthy.ETA(); eta != 4*time.Second {
+		t.Errorf("healthy ETA() = %v, want 4s", eta)
+	}
+}
+
+// TestQuantileEdges: empty histograms quantile to 0, and buckets at or
+// above 2^62 (where the naive 1<<b bound overflows int64) clamp to the
+// exact Max instead of going negative.
+func TestQuantileEdges(t *testing.T) {
+	var empty obs.HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	r := obs.NewRegistry()
+	h := r.Histogram("big")
+	h.Observe(math.MaxInt64)        // bucket 64: 1<<64 would shift to 0
+	h.Observe(math.MaxInt64 - 1000) // same bucket
+	h.Observe(int64(1) << 62)       // bucket 63: 1<<63 is negative
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < 0 {
+			t.Fatalf("Quantile(%v) overflowed to %d", q, v)
+		}
+		if v > s.Max {
+			t.Errorf("Quantile(%v) = %d exceeds Max %d", q, v, s.Max)
+		}
+	}
+	if v := s.Quantile(1); v != math.MaxInt64 {
+		t.Errorf("Quantile(1) = %d, want exact Max %d", v, int64(math.MaxInt64))
+	}
+	// Out-of-range q clamps rather than panicking or indexing badly.
+	if v := s.Quantile(-3); v < 0 || v > s.Max {
+		t.Errorf("Quantile(-3) = %d out of range", v)
+	}
+	if v := s.Quantile(7); v != s.Quantile(1) {
+		t.Errorf("Quantile(7) = %d, want Quantile(1) = %d", v, s.Quantile(1))
+	}
+}
+
+// TestObserveNEquivalence: ObserveN(v, n) must leave the histogram in
+// exactly the state of n Observe(v) calls, and n <= 0 must record
+// nothing.
+func TestObserveNEquivalence(t *testing.T) {
+	ra, rb := obs.NewRegistry(), obs.NewRegistry()
+	bulk, loop := ra.Histogram("h"), rb.Histogram("h")
+	obsSeq := []struct{ v, n int64 }{{5, 3}, {0, 4}, {-7, 2}, {1 << 40, 1}, {9, 0}, {9, -2}}
+	for _, o := range obsSeq {
+		bulk.ObserveN(o.v, o.n)
+		for i := int64(0); i < o.n; i++ {
+			loop.Observe(o.v)
+		}
+	}
+	if !reflect.DeepEqual(bulk.Snapshot(), loop.Snapshot()) {
+		t.Errorf("ObserveN snapshot %+v != Observe-loop snapshot %+v",
+			bulk.Snapshot(), loop.Snapshot())
+	}
+	// First-ever observation through the bulk path must set Min.
+	r := obs.NewRegistry()
+	h := r.Histogram("min")
+	h.ObserveN(42, 3)
+	if s := h.Snapshot(); s.Min != 42 || s.Max != 42 || s.Count != 3 || s.Sum != 126 {
+		t.Errorf("bulk-first snapshot %+v, want min=max=42 count=3 sum=126", s)
+	}
+}
+
+// TestSnapshotMergeDisjoint: merging snapshots whose counter and
+// histogram sets are disjoint must union them (sorted), and metrics
+// present on both sides must fold.
+func TestSnapshotMergeDisjoint(t *testing.T) {
+	ra := obs.NewRegistry()
+	ra.Counter("a.count").Add(3)
+	ra.Histogram("a.hist").Observe(10)
+	ra.Counter("shared").Add(5)
+
+	rb := obs.NewRegistry()
+	rb.Counter("b.count").Add(7)
+	rb.Histogram("b.hist").Observe(20)
+	rb.Counter("shared").Add(11)
+
+	m := ra.Snapshot().Merge(rb.Snapshot())
+	want := map[string]int64{"a.count": 3, "b.count": 7, "shared": 16}
+	if len(m.Counters) != len(want) {
+		t.Fatalf("merged %d counters, want %d: %+v", len(m.Counters), len(want), m.Counters)
+	}
+	for name, v := range want {
+		got, ok := m.Counter(name)
+		if !ok || got != v {
+			t.Errorf("counter %s = %d (present=%v), want %d", name, got, ok, v)
+		}
+	}
+	for _, name := range []string{"a.hist", "b.hist"} {
+		h, ok := m.Histogram(name)
+		if !ok || h.Count != 1 {
+			t.Errorf("histogram %s missing or wrong after disjoint merge: %+v", name, h)
+		}
+	}
+	// Merge output is sorted by name regardless of input order.
+	for i := 1; i < len(m.Counters); i++ {
+		if m.Counters[i-1].Name > m.Counters[i].Name {
+			t.Fatalf("merged counters unsorted: %+v", m.Counters)
+		}
+	}
+	// Merging with an empty snapshot is the identity.
+	if got := m.Merge(obs.Snapshot{}); !reflect.DeepEqual(got, m) {
+		t.Error("merge with empty snapshot changed the result")
+	}
+}

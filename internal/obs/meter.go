@@ -59,6 +59,20 @@ func (m *Meter) OnAbsorb(t int64, p *packet.Packet) {
 	m.latency.Observe(t - p.InjectedAt)
 }
 
+// AcceptLeap implements sim.LeapObserver: idle windows observe k zeros
+// into both queue histograms, which ObserveN reconstructs exactly.
+// Drain windows absorb packets whose individual latencies feed
+// sim.latency, so the meter refuses them and the engine steps through.
+func (m *Meter) AcceptLeap(kind sim.LeapKind) bool { return kind == sim.LeapIdle }
+
+// OnLeap implements sim.LeapObserver for idle windows: every skipped
+// step would have observed TotalQueued == 0 and MaxQueued == 0.
+func (m *Meter) OnLeap(e *sim.Engine, info sim.LeapInfo) {
+	k := info.Steps()
+	m.qTotal.ObserveN(0, k)
+	m.qMax.ObserveN(0, k)
+}
+
 // Finish folds the end-of-run state into the registry: the per-edge
 // occupancy distribution (one histogram observation per edge, weighted
 // via the engine's O(max occupancy) length histogram) and the

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -63,6 +64,28 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count++
 	h.sum += v
+}
+
+// ObserveN records v exactly n times in O(1) — the bulk form leap-mode
+// observers use to fold a window of identical per-step observations
+// into the histogram. n <= 0 records nothing. Equivalent to calling
+// Observe(v) n times.
+func (h *Histogram) ObserveN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))] += n
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * n
 }
 
 // Count returns the number of observations.
@@ -175,7 +198,14 @@ func (h HistogramSnapshot) Quantile(q float64) int64 {
 			if b == 0 {
 				return 0
 			}
-			top := int64(1)<<uint(b) - 1
+			// For b >= 63 the shift overflows int64 (1<<63 is negative,
+			// 1<<64 is zero), which would return a bogus negative bound
+			// instead of clamping; the top of those buckets saturates at
+			// MaxInt64.
+			top := int64(math.MaxInt64)
+			if b < 63 {
+				top = int64(1)<<uint(b) - 1
+			}
 			if top > h.Max {
 				top = h.Max
 			}

@@ -25,9 +25,14 @@ type SweepProgress struct {
 }
 
 // ETA estimates the remaining wall-clock time from the mean pace of
-// the finished probes (0 until one finishes).
+// the finished probes. It returns 0 — "no estimate" — until a probe
+// finishes, when the sweep is already complete or over-complete
+// (Total <= Done, as after an early-resolved search corrected Total
+// downwards), and for degenerate reports (non-positive Done or
+// Elapsed), so a malformed report can never yield a negative or
+// divide-by-zero ETA.
 func (p SweepProgress) ETA() time.Duration {
-	if p.Done == 0 || p.Total <= p.Done {
+	if p.Done <= 0 || p.Total <= p.Done || p.Elapsed <= 0 {
 		return 0
 	}
 	per := p.Elapsed / time.Duration(p.Done)

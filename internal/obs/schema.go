@@ -10,9 +10,11 @@ import (
 // ValidateJSONL checks that r is a well-formed flight-recorder dump:
 // every non-empty line is a JSON object with an integer "t" >= 0 and a
 // known "kind"; packet kinds (inject/send/absorb/reroute) must carry
-// "pkt", "edge" and "hops", and marker/failure lines must carry a
-// non-empty "label". It returns the number of validated events. The
-// `make trace-smoke` target runs cmd/aqtsim -trace through this.
+// "pkt", "edge" and "hops", marker/failure lines must carry a
+// non-empty "label", and leap lines must carry a positive "hops"
+// (window length) plus a label. It returns the number of validated
+// events. The `make trace-smoke` target runs cmd/aqtsim -trace through
+// this.
 func ValidateJSONL(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -49,6 +51,13 @@ func ValidateJSONL(r io.Reader) (int, error) {
 		case "marker", "failure":
 			if ev.Label == "" {
 				return n, fmt.Errorf("line %d: %s event needs a label", line, *ev.Kind)
+			}
+		case "leap":
+			if ev.Hops == nil || *ev.Hops < 1 {
+				return n, fmt.Errorf("line %d: leap event needs a positive hops window", line)
+			}
+			if ev.Label == "" {
+				return n, fmt.Errorf("line %d: leap event needs a label", line)
 			}
 		default:
 			return n, fmt.Errorf("line %d: unknown kind %q", line, *ev.Kind)

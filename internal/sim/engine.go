@@ -201,6 +201,20 @@ type Engine struct {
 	// polFor holds the per-edge policies of a heterogeneous network
 	// (nil in the homogeneous case).
 	polFor []policy.Policy
+
+	// Leap mode (see leap.go). nonFinal counts the queued packets NOT
+	// sitting on the last edge of their route; nonFinal == 0 is the
+	// closed-form drain regime (every send absorbs, no receives).
+	// Maintained by enqueue, the send substep and ReplaceRouteSuffix.
+	nonFinal  int64
+	leapStats LeapStats
+
+	// leapObs is backed by leapObsArr so that registering the usual one
+	// or two leap-aware observers costs no heap allocation — engine
+	// construction stays alloc-identical to the pre-leap engine (the
+	// per-probe alloc gate in cmd/bench counts it).
+	leapObs    []LeapObserver
+	leapObsArr [4]LeapObserver
 }
 
 // New returns an engine over graph g using the given policy and
@@ -228,6 +242,7 @@ func NewWithConfig(g *graph.Graph, pol policy.Policy, adv Adversary, cfg Config)
 		maxEdge: graph.NoEdge,
 	}
 	e.lenCnt[0] = int32(g.NumEdges())
+	e.leapObs = e.leapObsArr[:0]
 	if cfg.PolicyFor != nil {
 		e.polFor = make([]policy.Policy, g.NumEdges())
 		for eid := 0; eid < g.NumEdges(); eid++ {
@@ -311,6 +326,10 @@ func (e *Engine) addEventInterfaces(ob any) bool {
 	}
 	if fo, ok := ob.(FailureObserver); ok {
 		e.failObs = append(e.failObs, fo)
+		matched = true
+	}
+	if lo, ok := ob.(LeapObserver); ok {
+		e.leapObs = append(e.leapObs, lo)
 		matched = true
 	}
 	return matched
@@ -413,6 +432,9 @@ func (e *Engine) enqueue(p *packet.Packet, t int64) {
 	p.EnqueueSeq = e.nextSeq
 	e.nextSeq++
 	eid := p.CurrentEdge()
+	if p.Pos < len(p.Route)-1 {
+		e.nonFinal++
+	}
 	e.buffers[eid].PushBack(p)
 	e.growLen(eid, e.buffers[eid].Len())
 	if e.keyed != nil {
@@ -519,6 +541,9 @@ func (e *Engine) stepCore() {
 			p = buf.RemoveAt(e.pol.Select(buf, e.now))
 		}
 		e.shrinkLen(eid, buf.Len())
+		if p.Pos < len(p.Route)-1 {
+			e.nonFinal--
+		}
 		if res := e.now - p.ArrivedAt; res > e.maxResidence {
 			e.maxResidence = res
 		}
@@ -587,12 +612,18 @@ func (e *Engine) RunQuiet(n int64) {
 }
 
 // RunUntil executes steps until pred returns true or maxSteps steps
-// have run; it reports whether pred fired. Like Run, it skips the
-// OnStep dispatch loop entirely when no observers are registered
-// (wall-clock time is then accounted to StepStats.Nanos once for the
-// whole run, pred evaluations included); event observers still fire
-// either way.
+// have run; it reports whether pred fired. pred is evaluated at entry:
+// a predicate that already holds costs zero steps and zero observer
+// dispatches (previously the engine burned one step before looking).
+// Like Run, it skips the OnStep dispatch loop entirely when no
+// observers are registered (wall-clock time is then accounted to
+// StepStats.Nanos once for the whole run, pred evaluations included,
+// exactly as a manual stepCore loop timed as one batch would report);
+// event observers still fire either way.
 func (e *Engine) RunUntil(pred func(e *Engine) bool, maxSteps int64) bool {
+	if pred(e) {
+		return true
+	}
 	if len(e.observers) == 0 {
 		start := time.Now()
 		defer func() { e.stats.Nanos += time.Since(start).Nanoseconds() }()
@@ -655,6 +686,15 @@ func (e *Engine) ReplaceRouteSuffix(p *packet.Packet, newSuffix []graph.EdgeID) 
 		if !e.g.IsSimplePath(route) {
 			panic(fmt.Sprintf("sim: reroute of %v is not simple: %s",
 				p, e.g.RouteString(route)))
+		}
+	}
+	if wasFinal, isFinal := p.Pos == len(old)-1, p.Pos == len(route)-1; wasFinal != isFinal {
+		// The packet sits in a buffer (reroutes are PreStep-only), so a
+		// finality flip moves it across the nonFinal count.
+		if isFinal {
+			e.nonFinal--
+		} else {
+			e.nonFinal++
 		}
 	}
 	p.Route = route

@@ -23,6 +23,15 @@ func (l *LatencyObserver) OnAbsorb(t int64, p *packet.Packet) {
 	l.lats = append(l.lats, t-p.InjectedAt)
 }
 
+// AcceptLeap implements LeapObserver: idle windows absorb nothing, so
+// they are trivially accountable; drain windows absorb packets whose
+// individual latencies this observer must record, so it refuses them
+// and the engine falls back to stepping.
+func (l *LatencyObserver) AcceptLeap(kind LeapKind) bool { return kind == LeapIdle }
+
+// OnLeap implements LeapObserver (idle windows carry no absorptions).
+func (l *LatencyObserver) OnLeap(*Engine, LeapInfo) {}
+
 // Count returns the number of recorded (absorbed) latencies.
 func (l *LatencyObserver) Count() int { return len(l.lats) }
 

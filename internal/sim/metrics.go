@@ -61,22 +61,95 @@ func (r *Recorder) OnStep(e *Engine) {
 		eid, _ := e.MaxQueueLen()
 		r.peakMax, r.peakEdge = l, eid
 	}
-	// Clamp here, not just in NewRecorder: the field doc promises
-	// "Stride <= 1 means every step", so a literal-constructed
-	// Recorder{} must sample every step rather than divide by zero.
+	if e.Now()%r.effStride() != 0 {
+		return
+	}
+	r.appendSample(Sample{T: e.Now(), TotalQueued: tot, MaxQueueLen: l})
+}
+
+// effStride returns the current sampling stride. Clamp here, not just
+// in NewRecorder: the Stride field doc promises "Stride <= 1 means
+// every step", so a literal-constructed Recorder{} must sample every
+// step rather than divide by zero.
+func (r *Recorder) effStride() int64 {
 	stride := r.Stride
 	if stride < 1 {
 		stride = 1
 	}
-	if f := r.factor; f > 1 {
-		stride *= f
+	if r.factor > 1 {
+		stride *= r.factor
 	}
-	if e.Now()%stride != 0 {
-		return
-	}
-	r.samples = append(r.samples, Sample{T: e.Now(), TotalQueued: tot, MaxQueueLen: l})
+	return stride
+}
+
+// appendSample appends s and re-establishes the MaxSamples bound.
+func (r *Recorder) appendSample(s Sample) {
+	r.samples = append(r.samples, s)
 	for r.MaxSamples > 0 && len(r.samples) > r.MaxSamples {
 		r.downsample()
+	}
+}
+
+// AcceptLeap implements LeapObserver: both leaped regimes have
+// closed-form queue-size trajectories, so the Recorder accepts both.
+func (r *Recorder) AcceptLeap(LeapKind) bool { return true }
+
+// OnLeap implements LeapObserver by reconstructing the per-step
+// observations OnStep would have made across the window. Fired before
+// the engine mutates, so the occupancy histogram still describes the
+// window's start. Inside an idle window every step observes zeros;
+// inside a drain window every nonempty buffer shrinks by exactly one
+// per step, so the total at dt steps in is Σ_{l>dt} (l−dt)·edges(l)
+// and the max is curMax−dt — both read off the histogram.
+func (r *Recorder) OnLeap(e *Engine, info LeapInfo) {
+	type lvl struct{ l, cnt int64 }
+	var levels []lvl
+	var curMax int64
+	if info.Kind == LeapDrain {
+		e.EachQueueLen(func(l, edges int) {
+			if l > 0 {
+				levels = append(levels, lvl{int64(l), int64(edges)})
+			}
+		})
+		curMax = int64(e.MaxQueued())
+	}
+	totAt := func(dt int64) int64 {
+		var tot int64
+		for _, lv := range levels {
+			if lv.l > dt {
+				tot += (lv.l - dt) * lv.cnt
+			}
+		}
+		return tot
+	}
+	maxAt := func(dt int64) int64 {
+		if curMax > dt {
+			return curMax - dt
+		}
+		return 0
+	}
+	// Queue sizes are nonincreasing inside a static window, so the only
+	// candidate peaks the per-step path would have seen are at the first
+	// step (dt = 1).
+	if tot := totAt(1); tot > r.peakTot {
+		r.peakTot = tot
+	}
+	if l := maxAt(1); int(l) > r.peakMax {
+		// Every nonempty buffer shrinks by one in the first step, so the
+		// lowest edge holding curMax packets now is the lowest edge
+		// holding curMax−1 packets then.
+		eid, _ := e.MaxQueueLen()
+		r.peakMax, r.peakEdge = int(l), eid
+	}
+	// Sampled steps: every effective-stride multiple in (From, To]. The
+	// stride is re-read after each append because appending may trigger
+	// downsampling, exactly as the per-step path interleaves them.
+	eff := r.effStride()
+	for t := (info.From/eff + 1) * eff; t <= info.To; {
+		dt := t - info.From
+		r.appendSample(Sample{T: t, TotalQueued: totAt(dt), MaxQueueLen: int(maxAt(dt))})
+		eff = r.effStride()
+		t = (t/eff + 1) * eff
 	}
 }
 
@@ -103,16 +176,7 @@ func (r *Recorder) downsample() {
 
 // EffectiveStride returns the spacing of retained samples: Stride times
 // the current power-of-two downsampling factor (MaxSamples bounding).
-func (r *Recorder) EffectiveStride() int64 {
-	stride := r.Stride
-	if stride < 1 {
-		stride = 1
-	}
-	if r.factor > 1 {
-		stride *= r.factor
-	}
-	return stride
-}
+func (r *Recorder) EffectiveStride() int64 { return r.effStride() }
 
 // Samples returns the recorded series (shared slice; read-only).
 func (r *Recorder) Samples() []Sample { return r.samples }

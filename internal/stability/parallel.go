@@ -122,6 +122,13 @@ func (p *progTracker) begin() {
 	}
 	p.mu.Lock()
 	p.inFlight++
+	if p.done+p.inFlight > p.total {
+		// Speculative probes can outrun the bisection estimate (and a
+		// worker may dequeue one after resolution capped the total);
+		// keep total >= done+inFlight so reports — and the ETA derived
+		// from them — stay sane. Exact totals (SweepGrid) never hit this.
+		p.total = p.done + p.inFlight
+	}
 	p.emit()
 	p.mu.Unlock()
 }
@@ -141,6 +148,24 @@ func (p *progTracker) end(d time.Duration) {
 		p.total = p.done
 	}
 	p.emit()
+	p.mu.Unlock()
+}
+
+// resolve caps the total at the probes already finished or in flight:
+// the search's answer is known, so the worst-case bisection estimate
+// no longer applies. Without this, reports emitted while close() joins
+// the in-flight speculative probes would still carry the stale
+// estimate, and a consumer's ETA would count phantom remaining probes
+// until the very last report (the finish() correction).
+func (p *progTracker) resolve() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if t := p.done + p.inFlight; t < p.total {
+		p.total = t
+		p.emit()
+	}
 	p.mu.Unlock()
 }
 
@@ -216,6 +241,7 @@ func ParallelThresholdSearchOpt(probe func(rate rational.Rat) Verdict, lo, hi ra
 		for {
 			idx, done, result := st.need()
 			if done {
+				prog.resolve()
 				return rational.New(result, den)
 			}
 			prog.begin()
@@ -236,6 +262,7 @@ func ParallelThresholdSearchOpt(probe func(rate rational.Rat) Verdict, lo, hi ra
 	for {
 		idx, done, result := st.need()
 		if done {
+			prog.resolve()
 			return rational.New(result, den)
 		}
 		s.schedule(frontier(st, workers))

@@ -1,0 +1,110 @@
+package stability
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aqt/internal/obs"
+	"aqt/internal/rational"
+)
+
+// TestProgTrackerResolve pins the early-resolution fix: once resolve()
+// caps the total, reports stop counting phantom remaining probes, and
+// a speculative probe dequeued after resolution grows the total so
+// done+inFlight can never exceed it.
+func TestProgTrackerResolve(t *testing.T) {
+	var reports []obs.SweepProgress
+	p := newProgTracker(func(sp obs.SweepProgress) { reports = append(reports, sp) }, 10)
+
+	for i := 0; i < 3; i++ {
+		p.begin()
+		p.end(time.Millisecond)
+	}
+	p.begin() // one probe still in flight at resolution time
+	p.resolve()
+	last := reports[len(reports)-1]
+	if last.Total != 4 {
+		t.Errorf("after resolve with 3 done + 1 in flight: Total %d, want 4", last.Total)
+	}
+
+	// A worker dequeues a speculative probe after resolution: the total
+	// must stretch to cover it instead of reporting done+inFlight > total.
+	p.begin()
+	last = reports[len(reports)-1]
+	if got := last.Done + last.InFlight; got > last.Total {
+		t.Errorf("post-resolve begin: done+inFlight %d > total %d", got, last.Total)
+	}
+	p.end(time.Millisecond)
+	p.end(time.Millisecond)
+	p.finish()
+	last = reports[len(reports)-1]
+	if last.Total != last.Done || last.InFlight != 0 {
+		t.Errorf("final report %+v: want Total == Done and no in-flight probes", last)
+	}
+	for i, r := range reports {
+		if r.Done+r.InFlight > r.Total {
+			t.Errorf("report %d: done %d + inFlight %d exceeds total %d", i, r.Done, r.InFlight, r.Total)
+		}
+	}
+
+	// resolve must not touch an exact (not over-estimated) total.
+	var rep2 []obs.SweepProgress
+	q := newProgTracker(func(sp obs.SweepProgress) { rep2 = append(rep2, sp) }, 2)
+	q.begin()
+	q.end(time.Millisecond)
+	q.begin()
+	q.end(time.Millisecond)
+	q.resolve()
+	if last := rep2[len(rep2)-1]; last.Total != 2 || last.Done != 2 {
+		t.Errorf("exact-total resolve: %+v, want 2/2", last)
+	}
+
+	// All methods are nil-safe (telemetry off).
+	var nilTracker *progTracker
+	nilTracker.begin()
+	nilTracker.end(time.Millisecond)
+	nilTracker.resolve()
+	nilTracker.finish()
+}
+
+// TestParallelThresholdSearchProgressNoStaleETA runs real searches and
+// requires every emitted report to satisfy the invariant the StatusLine
+// ETA depends on (done+inFlight <= total), the final report to close
+// the books (Done == Total, nothing in flight), and the early-resolved
+// total to be corrected — for both the inline 1-worker path and the
+// speculating pool.
+func TestParallelThresholdSearchProgressNoStaleETA(t *testing.T) {
+	tau := rational.New(3, 4)
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var reports []obs.SweepProgress
+		got := ParallelThresholdSearchOpt(monotoneProbe(tau, false),
+			rational.New(1, 2), rational.New(1, 1), 6, workers,
+			func(sp obs.SweepProgress) {
+				mu.Lock()
+				reports = append(reports, sp)
+				mu.Unlock()
+			})
+		want := ThresholdSearch(monotoneProbe(tau, false), rational.New(1, 2), rational.New(1, 1), 6)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("workers=%d: search returned %v, want %v", workers, got, want)
+		}
+		if len(reports) == 0 {
+			t.Fatalf("workers=%d: no progress reports", workers)
+		}
+		for i, r := range reports {
+			if r.Done+r.InFlight > r.Total {
+				t.Errorf("workers=%d report %d: done %d + inFlight %d exceeds total %d",
+					workers, i, r.Done, r.InFlight, r.Total)
+			}
+		}
+		last := reports[len(reports)-1]
+		if last.Done != last.Total || last.InFlight != 0 {
+			t.Errorf("workers=%d final report %+v: want Done == Total, InFlight == 0", workers, last)
+		}
+		if eta := last.ETA(); eta != 0 {
+			t.Errorf("workers=%d: final report still advertises ETA %v", workers, eta)
+		}
+	}
+}
