@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke fuzz
 
 verify: test vet race
 
@@ -23,7 +23,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/... ./internal/stability/... ./internal/expt/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/adversary/... ./internal/buffer/... ./internal/stability/... ./internal/expt/... ./internal/obs/... ./internal/scenario/...
 
 # Emit a BENCH_<LABEL>.json trajectory point (default label: git short hash).
 LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
@@ -56,6 +56,14 @@ leap-smoke:
 	$(GO) test ./internal/sim -run 'Leap' -count 1
 	$(GO) run ./cmd/aqtsim -topo line -size 8 -adv burst -w 512 -rate 1/4 -maxlen 3 -steps 100000 -leap
 
+# Scenario end-to-end smoke: strict-validate every checked-in spec,
+# then build and run them all across the worker pool. Exit nonzero on
+# any validation error, run panic or failed post-run check.
+scenario-smoke:
+	$(GO) run ./cmd/scenario validate scenarios/*.json
+	$(GO) run ./cmd/scenario run -workers 0 scenarios/*.json
+
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary
 	$(GO) test -fuzz FuzzKeyedHeapAgreement -fuzztime 30s ./internal/sim
+	$(GO) test -fuzz FuzzScenarioLoad -fuzztime 30s ./internal/scenario

@@ -5,16 +5,17 @@
 // Usage:
 //
 //	aqtsim -topo ring -size 6 -policy FIFO -w 20 -rate 1/4 -maxlen 3 -steps 10000
+//	aqtsim -scenario scenarios/quickstart.json
 //
-// Rates are rationals ("1/4") or decimals ("0.25").
+// Rates are rationals ("1/4") or decimals ("0.25"). With -scenario,
+// the whole configuration comes from a declarative spec file instead
+// (see internal/scenario); all other simulation flags are ignored.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"aqt/internal/adversary"
 	"aqt/internal/gadget"
@@ -22,25 +23,10 @@ import (
 	"aqt/internal/obs"
 	"aqt/internal/policy"
 	"aqt/internal/rational"
+	"aqt/internal/scenario"
 	"aqt/internal/sim"
 	"aqt/internal/stability"
 )
-
-func parseRate(s string) (rational.Rat, error) {
-	if num, den, ok := strings.Cut(s, "/"); ok {
-		n, err1 := strconv.ParseInt(num, 10, 64)
-		d, err2 := strconv.ParseInt(den, 10, 64)
-		if err1 != nil || err2 != nil || d == 0 {
-			return rational.Rat{}, fmt.Errorf("bad rational %q", s)
-		}
-		return rational.New(n, d), nil
-	}
-	f, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return rational.Rat{}, fmt.Errorf("bad rate %q", s)
-	}
-	return rational.FromFloat(f, 1_000_000), nil
-}
 
 func buildTopo(name string, size int) (*graph.Graph, error) {
 	switch name {
@@ -83,8 +69,12 @@ func main() {
 	trace := flag.String("trace", "", "write a flight-recorder JSONL event trace to this file")
 	traceCap := flag.Int("tracecap", 4096, "flight-recorder ring capacity (latest events kept)")
 	metrics := flag.Bool("metrics", false, "print the metrics-registry summary")
+	scenarioFile := flag.String("scenario", "", "run a declarative scenario file instead (overrides topology/policy/adversary flags)")
 	flag.Parse()
 
+	if *scenarioFile != "" {
+		os.Exit(runScenario(*scenarioFile))
+	}
 	if *listPols {
 		for _, p := range policy.All() {
 			tr := p.Traits()
@@ -105,7 +95,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	rate, err := parseRate(*rateStr)
+	rate, err := rational.Parse(*rateStr)
 	if err != nil {
 		die(err)
 	}
@@ -225,6 +215,23 @@ func main() {
 	if violation != nil {
 		os.Exit(1)
 	}
+}
+
+// runScenario loads, builds and runs one scenario file, printing the
+// same deterministic report as `scenario run`. Exit 0 on success, 1 on
+// failed checks, 2 on a bad spec.
+func runScenario(path string) int {
+	b, err := scenario.BuildFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aqtsim: %v\n", err)
+		return 2
+	}
+	out := b.Run()
+	b.WriteReport(os.Stdout, out)
+	if !out.OK() {
+		return 1
+	}
+	return 0
 }
 
 func maxI64(a, b int64) int64 {

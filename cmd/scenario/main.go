@@ -1,0 +1,153 @@
+// Command scenario validates, runs and emits declarative scenario
+// files (see internal/scenario and the README's "Scenario files"
+// section).
+//
+//	scenario validate file.json...          strict validation, line-precise errors
+//	scenario run [-workers n] file.json...  build + run + deterministic report
+//	scenario emit [-dir scenarios] [id...]  serialize the hand-wired experiments
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"aqt/internal/scenario"
+	"aqt/internal/stability"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: scenario validate file.json...\n")
+	fmt.Fprintf(w, "       scenario run [-workers n] file.json...\n")
+	fmt.Fprintf(w, "       scenario emit [-dir scenarios] [id...]\n")
+	fmt.Fprintf(w, "emittable ids: %v\n", scenario.EmitIDs())
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "validate":
+		return cmdValidate(args[1:], stdout, stderr)
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "emit":
+		return cmdEmit(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "scenario: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func cmdValidate(files []string, stdout, stderr io.Writer) int {
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "scenario validate: no files")
+		return 2
+	}
+	bad := 0
+	for _, f := range files {
+		if _, err := scenario.Load(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok\t%s\n", f)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runResult is one file's rendered report; rendering happens inside
+// the worker, printing in input order afterwards, so the byte output
+// is independent of the worker count.
+type runResult struct {
+	report string
+	failed bool
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "scenario run: no files")
+		return 2
+	}
+	results := stability.SweepGrid(files, func(path string) runResult {
+		b, err := scenario.BuildFile(path)
+		if err != nil {
+			return runResult{report: err.Error() + "\n", failed: true}
+		}
+		out := b.Run()
+		var buf bytes.Buffer
+		b.WriteReport(&buf, out)
+		return runResult{report: buf.String(), failed: !out.OK()}
+	}, *workers)
+	bad := 0
+	for i, gr := range results {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		if gr.Panic != "" {
+			fmt.Fprintf(stdout, "%s: PANIC: %s\n", gr.Point, gr.Panic)
+			bad++
+			continue
+		}
+		fmt.Fprint(stdout, gr.Value.report)
+		if gr.Value.failed {
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdEmit(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "scenarios", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = scenario.EmitIDs()
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	results := stability.SweepGrid(ids, scenario.Emit, 0)
+	for _, gr := range results {
+		if gr.Panic != "" {
+			fmt.Fprintf(stderr, "emit %s: PANIC: %s\n", gr.Point, gr.Panic)
+			return 1
+		}
+		em := gr.Value
+		path := filepath.Join(*dir, em.ID+".json")
+		if err := os.WriteFile(path, em.Spec.Encode(), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote\t%s\t(%s, %d steps)\n", path, em.Spec.Name, em.Spec.Run.Steps)
+	}
+	return 0
+}

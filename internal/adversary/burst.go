@@ -32,8 +32,8 @@ type BurstStream struct {
 // NewBurstScript wraps burst streams into an adversary.
 func NewBurstScript(streams ...BurstStream) *BurstScript {
 	for _, st := range streams {
-		if st.Period < 1 || st.Burst < 1 || len(st.Route) == 0 {
-			panic("adversary: burst stream needs period >= 1, burst >= 1 and a route")
+		if err := CheckBurstStream(st); err != nil {
+			panic(err)
 		}
 	}
 	return &BurstScript{streams: streams}

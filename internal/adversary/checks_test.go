@@ -1,0 +1,194 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// TestCheckMessages pins the rejection messages of every adversary
+// validation check, table-driven, so declarative spec errors
+// (internal/scenario) can cite them verbatim and the constructor
+// panics stay in sync with the exported Check helpers.
+func TestCheckMessages(t *testing.T) {
+	route := []graph.EdgeID{0}
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{
+			"stream without route",
+			CheckStream(Stream{Rate: rational.New(1, 2)}),
+			"adversary: stream needs exactly one of Route and RouteFn",
+		},
+		{
+			"stream with both route and routefn",
+			CheckStream(Stream{Rate: rational.New(1, 2), Route: route,
+				RouteFn: func(int64) []graph.EdgeID { return route }}),
+			"adversary: stream needs exactly one of Route and RouteFn",
+		},
+		{
+			"stream with zero rate",
+			CheckStream(Stream{Route: route}),
+			"adversary: stream rate must be positive",
+		},
+		{
+			"stream with negative rate",
+			CheckStream(Stream{Route: route, Rate: rational.New(-1, 2)}),
+			"adversary: stream rate must be positive",
+		},
+		{
+			"burst stream with zero period",
+			CheckBurstStream(BurstStream{Burst: 1, Route: route}),
+			"adversary: burst stream needs period >= 1, burst >= 1 and a route",
+		},
+		{
+			"burst stream with zero burst",
+			CheckBurstStream(BurstStream{Period: 4, Route: route}),
+			"adversary: burst stream needs period >= 1, burst >= 1 and a route",
+		},
+		{
+			"burst stream without route",
+			CheckBurstStream(BurstStream{Period: 4, Burst: 1}),
+			"adversary: burst stream needs period >= 1, burst >= 1 and a route",
+		},
+		{
+			"zero window",
+			CheckWindow(0),
+			"adversary: window must be >= 1",
+		},
+		{
+			"negative window",
+			CheckWindow(-3),
+			"adversary: window must be >= 1",
+		},
+		{
+			"window pair with zero window",
+			CheckWindowRate(0, rational.New(1, 2)),
+			"adversary: window must be >= 1",
+		},
+		{
+			"window pair with zero rate",
+			CheckWindowRate(10, rational.Rat{}),
+			"adversary: window rate must be positive, got 0",
+		},
+		{
+			"window pair below admissibility",
+			CheckWindowRate(3, rational.New(1, 4)),
+			"adversary: (w,r) = (3,1/4) admits no injections: floor(r*w) = 0 (Definition 2.1)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatalf("want error %q, got nil", tc.want)
+			}
+			if tc.err.Error() != tc.want {
+				t.Errorf("message %q, want %q", tc.err.Error(), tc.want)
+			}
+		})
+	}
+
+	// Valid specs pass.
+	if err := CheckStream(Stream{Route: route, Rate: rational.New(1, 2)}); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+	if err := CheckBurstStream(BurstStream{Period: 4, Burst: 2, Route: route}); err != nil {
+		t.Errorf("valid burst stream rejected: %v", err)
+	}
+	if err := CheckWindowRate(4, rational.New(1, 4)); err != nil {
+		t.Errorf("admissible (4,1/4) rejected: %v", err)
+	}
+}
+
+// TestConstructorPanicsMatchChecks verifies the constructors panic with
+// the exact error values the Check helpers return.
+func TestConstructorPanicsMatchChecks(t *testing.T) {
+	mustPanicWith := func(t *testing.T, want error, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("no panic, want %v", want)
+			}
+			err, ok := r.(error)
+			if !ok || err.Error() != want.Error() {
+				t.Fatalf("panicked with %v, want %v", r, want)
+			}
+		}()
+		fn()
+	}
+	route := []graph.EdgeID{0}
+	mustPanicWith(t, ErrStreamRate, func() {
+		NewScript(Stream{Route: route})
+	})
+	mustPanicWith(t, ErrStreamRoute, func() {
+		NewScript(Stream{Rate: rational.New(1, 2)})
+	})
+	mustPanicWith(t, ErrBurstStream, func() {
+		NewBurstScript(BurstStream{Period: 0, Burst: 1, Route: route})
+	})
+	mustPanicWith(t, ErrWindow, func() {
+		NewWindowValidator(0, rational.New(1, 2))
+	})
+	mustPanicWith(t, ErrWindow, func() {
+		NewRandomWR(graph.Line(3), 0, rational.New(1, 2), 1, 1)
+	})
+	mustPanicWith(t, ErrMaxLen, func() {
+		NewRandomWR(graph.Line(3), 4, rational.New(1, 2), 0, 1)
+	})
+}
+
+// TestRerouteOutsidePreStepMessage pins the engine's reroute-guard
+// panic: a reroute during the send/receive/inject substeps must be
+// rejected citing Lemma 3.3. (Reroutes from Adversary.PreStep and
+// between steps are the allowed paths; E2/E6 exercise those.)
+func TestRerouteOutsidePreStepMessage(t *testing.T) {
+	g := graph.Line(3)
+	e := sim.New(g, policy.FIFO{}, nil)
+	p := e.Seed(packet.Injection{Route: []graph.EdgeID{g.MustEdge("e1")}})
+
+	// A legal reroute between steps succeeds.
+	e.ExtendRoute(p, []graph.EdgeID{g.MustEdge("e2")})
+
+	// An in-substep reroute must panic with the Lemma 3.3 message.
+	var inj injectThenReroute
+	inj.p = p
+	inj.ext = []graph.EdgeID{g.MustEdge("e3")}
+	e.SetAdversary(&inj)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reroute inside Inject did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		want := "Lemma 3.3 reroutes are allowed only from Adversary.PreStep (or between steps)"
+		if !strings.Contains(msg, "during the send/receive/inject substeps") ||
+			!strings.Contains(msg, want) {
+			t.Fatalf("panic message %q does not cite the reroute rule %q", msg, want)
+		}
+	}()
+	e.Step()
+}
+
+// injectThenReroute reroutes from Inject (the forbidden substep).
+type injectThenReroute struct {
+	p   *packet.Packet
+	ext []graph.EdgeID
+}
+
+func (*injectThenReroute) PreStep(*sim.Engine) {}
+
+func (a *injectThenReroute) Inject(e *sim.Engine) []packet.Injection {
+	e.ExtendRoute(a.p, a.ext)
+	return nil
+}

@@ -63,11 +63,11 @@ type RandomWR struct {
 // NewRandomWR returns a generator over g. maxLen bounds route length
 // (the parameter d of the stability theorems). seed fixes the stream.
 func NewRandomWR(g *graph.Graph, w int64, rate rational.Rat, maxLen int, seed int64) *RandomWR {
-	if w < 1 {
-		panic("adversary: window must be >= 1")
+	if err := CheckWindow(w); err != nil {
+		panic(err)
 	}
 	if maxLen < 1 {
-		panic("adversary: maxLen must be >= 1")
+		panic(ErrMaxLen)
 	}
 	return &RandomWR{
 		W:        w,

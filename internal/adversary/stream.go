@@ -62,11 +62,8 @@ func NewScript(streams ...Stream) *Script {
 
 // AddStream registers a stream. It panics on an invalid specification.
 func (s *Script) AddStream(st Stream) {
-	if (st.Route == nil) == (st.RouteFn == nil) {
-		panic("adversary: stream needs exactly one of Route and RouteFn")
-	}
-	if st.Rate.Sign() <= 0 {
-		panic("adversary: stream rate must be positive")
+	if err := CheckStream(st); err != nil {
+		panic(err)
 	}
 	budget := st.Budget
 	if budget < 0 {

@@ -230,8 +230,8 @@ type WindowValidator struct {
 
 // NewWindowValidator returns a validator for a (w,r) adversary.
 func NewWindowValidator(w int64, rate rational.Rat) *WindowValidator {
-	if w < 1 {
-		panic("adversary: window must be >= 1")
+	if err := CheckWindow(w); err != nil {
+		panic(err)
 	}
 	return &WindowValidator{W: w, Rate: rate, u: newUsage()}
 }

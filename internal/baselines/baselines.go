@@ -187,9 +187,9 @@ func (r LadderResult) String() string {
 		r.Policy, r.L, r.K, r.DrainTime, r.MaxResidence, r.Delivered, r.K)
 }
 
-// buildLadder returns the ladder graph: rail edges rail1..railL and a
+// Ladder returns the ladder graph: rail edges rail1..railL and a
 // crossing source edge cross1..crossL into each rail tail node.
-func buildLadder(l int) *graph.Graph {
+func Ladder(l int) *graph.Graph {
 	g := graph.New()
 	prev := g.AddNode("m0")
 	for i := 1; i <= l; i++ {
@@ -202,9 +202,10 @@ func buildLadder(l int) *graph.Graph {
 	return g
 }
 
-// Run executes the ladder under the given policy.
-func (sc LadderScenario) Run(pol policy.Policy) LadderResult {
-	g := buildLadder(sc.L)
+// Build wires the ladder workload without running it: crossing script
+// installed, convoy seeded at the first rail buffer.
+func (sc LadderScenario) Build(pol policy.Policy) *sim.Engine {
+	g := Ladder(sc.L)
 	rail := make([]graph.EdgeID, sc.L)
 	for i := 0; i < sc.L; i++ {
 		rail[i] = g.MustEdge(fmt.Sprintf("rail%d", i+1))
@@ -222,6 +223,12 @@ func (sc LadderScenario) Run(pol policy.Policy) LadderResult {
 	for j := 0; j < sc.K; j++ {
 		e.Seed(packet.Injection{Route: rail, Tag: "convoy"})
 	}
+	return e
+}
+
+// Run executes the ladder under the given policy.
+func (sc LadderScenario) Run(pol policy.Policy) LadderResult {
+	e := sc.Build(pol)
 
 	res := LadderResult{Policy: pol.Name(), L: sc.L, K: sc.K}
 	inFlight := func() int64 {

@@ -53,6 +53,23 @@ func H1Heterogeneous(q Quick) *Table {
 // LIS instead of FIFO. Returns the conforming invariant size at the
 // target after 2S+n steps.
 func runHeteroPump(p core.Params, s int64, hetero bool) int64 {
+	c, e := HeteroPumpEngine(p, s, hetero)
+	e.RunQuiet(2*s + int64(p.N))
+	rep := c.CheckInvariant(e, 2, true)
+	goodE := int64(rep.ETotal - rep.BadERoutes)
+	if int64(rep.AQueue) < goodE {
+		return int64(rep.AQueue)
+	}
+	return goodE
+}
+
+// HeteroPumpEngine wires the frozen Lemma 3.6 pump on a 2-gadget chain
+// without running it: invariant seeded, gadget-1 routes extended into
+// the target, pump script installed. With hetero set, the target
+// gadget's e'-path runs LIS instead of FIFO. The scenario emitter uses
+// this to serialize the construction and hold the spec-compiled run to
+// the same execution.
+func HeteroPumpEngine(p core.Params, s int64, hetero bool) (*gadget.Chain, *sim.Engine) {
 	c := gadget.NewChain(p.N, 2, false)
 	lisEdges := map[graph.EdgeID]bool{}
 	for _, eid := range c.EPath(2) {
@@ -94,11 +111,5 @@ func runHeteroPump(p core.Params, s int64, hetero bool) int64 {
 		}
 	}
 	e.SetAdversary(script)
-	e.RunQuiet(2*s + int64(p.N))
-	rep := c.CheckInvariant(e, 2, true)
-	goodE := int64(rep.ETotal - rep.BadERoutes)
-	if int64(rep.AQueue) < goodE {
-		return int64(rep.AQueue)
-	}
-	return goodE
+	return c, e
 }

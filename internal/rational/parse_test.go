@@ -1,0 +1,47 @@
+package rational
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rat
+		ok   bool
+	}{
+		{"1/2", New(1, 2), true},
+		{"3/4", New(3, 4), true},
+		{"9/10", New(9, 10), true},
+		{"-2/6", New(-1, 3), true},
+		{"2", FromInt(2), true},
+		{"0", Rat{}, true},
+		{"0.25", New(1, 4), true},
+		{"0.75", New(3, 4), true},
+		{"", Rat{}, false},
+		{"1/0", Rat{}, false},
+		{"a/b", Rat{}, false},
+		{"nan", Rat{}, false},
+		{"+Inf", Rat{}, false},
+		{"one half", Rat{}, false},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("Parse(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !got.Eq(tc.want) {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Parse must invert String exactly: the scenario codec round-trips
+// rates through their textual form.
+func TestParseRoundTripsString(t *testing.T) {
+	for _, r := range []Rat{New(1, 2), New(3, 4), New(7, 13), FromInt(5), New(-3, 8), Rat{}} {
+		got, err := Parse(r.String())
+		if err != nil || !got.Eq(r) {
+			t.Errorf("Parse(String(%v)) = %v, %v", r, got, err)
+		}
+	}
+}

@@ -14,6 +14,8 @@ package rational
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Rat is a rational number num/den in lowest terms, den > 0.
@@ -256,4 +258,27 @@ func gcd(a, b int64) int64 {
 		return 1
 	}
 	return a
+}
+
+// Parse reads a rate from its textual forms: a fraction "num/den", an
+// integer "2", or a decimal "0.25" (converted via FromFloat with
+// denominator up to 10^6). It accepts exactly what String produces, so
+// Parse(r.String()) == r for every Rat. The empty string is an error.
+func Parse(s string) (Rat, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err1 := strconv.ParseInt(num, 10, 64)
+		d, err2 := strconv.ParseInt(den, 10, 64)
+		if err1 != nil || err2 != nil || d == 0 {
+			return Rat{}, fmt.Errorf("rational: bad fraction %q", s)
+		}
+		return New(n, d), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return FromInt(n), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return Rat{}, fmt.Errorf("rational: bad rate %q", s)
+	}
+	return FromFloat(f, 1_000_000), nil
 }

@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/obs"
+	"aqt/internal/policy"
+	"aqt/internal/sim"
+)
+
+// Load reads and fully validates a scenario file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(filepath.Base(path), data)
+}
+
+// Parse decodes and fully validates a spec. file labels error messages
+// ("" for anonymous input). Every rejection is an *Error carrying the
+// 1-based line and JSON path of the offending value: unknown fields
+// are caught at their position, type mismatches via the decoder's byte
+// offset, and semantic violations via the path map recorded during the
+// strict walk.
+func Parse(file string, data []byte) (*Spec, error) {
+	lines, err := strictCheck(file, data, reflect.TypeOf(Spec{}))
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		li := newLineIndex(data)
+		switch e := err.(type) {
+		case *json.UnmarshalTypeError:
+			return nil, &Error{File: file, Line: li.line(e.Offset), Path: e.Field,
+				Msg: fmt.Sprintf("cannot decode %s into %s", e.Value, e.Type)}
+		case *json.SyntaxError:
+			return nil, &Error{File: file, Line: li.line(e.Offset), Msg: e.Error()}
+		}
+		return nil, &Error{File: file, Line: 1, Msg: err.Error()}
+	}
+	if _, err := compile(ctx{file: file, lines: lines}, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Built is a compiled, instantiated scenario: graph, engine (policy
+// table applied, adversary installed, observers attached, initial
+// configuration seeded) — one step away from running.
+type Built struct {
+	Spec   *Spec
+	Graph  *graph.Graph
+	Engine *sim.Engine
+
+	// Observers requested by the run block (nil when absent).
+	Recorder *sim.Recorder
+	Latency  *sim.LatencyObserver
+	Window   *adversary.WindowValidator
+	Meter    *obs.Meter
+}
+
+// Build validates the spec and instantiates it. Observers are attached
+// before seeding, so validators and recorders see the initial
+// configuration, matching the hand-wired experiment order.
+func Build(s *Spec) (*Built, error) {
+	return build(ctx{}, s)
+}
+
+// BuildFile is Build with error messages positioned against the
+// original file (as returned by a prior Parse of the same bytes).
+func BuildFile(path string) (*Built, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	file := filepath.Base(path)
+	s, err := Parse(file, data)
+	if err != nil {
+		return nil, err
+	}
+	return build(ctx{file: file}, s)
+}
+
+func build(c ctx, s *Spec) (*Built, error) {
+	comp, err := compile(c, s)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{}
+	if len(comp.perEdge) > 0 {
+		perEdge := comp.perEdge
+		// PolicyFor returning nil falls back to the default policy.
+		cfg.PolicyFor = func(eid graph.EdgeID) policy.Policy { return perEdge[eid] }
+	}
+	var adv sim.Adversary
+	if comp.makeAdv != nil {
+		adv = comp.makeAdv()
+	}
+	e := sim.NewWithConfig(comp.g, comp.pol, adv, cfg)
+	b := &Built{Spec: s, Graph: comp.g, Engine: e}
+	for _, name := range s.Run.Observers {
+		switch name {
+		case ObsRecorder:
+			b.Recorder = sim.NewRecorder(recorderStride(s.Run.Steps))
+			e.AddObserver(b.Recorder)
+		case ObsLatency:
+			b.Latency = &sim.LatencyObserver{}
+			e.AddObserver(b.Latency)
+		case ObsWindow:
+			b.Window = adversary.NewWindowValidator(comp.winW, comp.winRate)
+			e.AddObserver(b.Window)
+		case ObsMeter:
+			b.Meter = obs.NewMeter(nil)
+			e.AddObserver(b.Meter)
+		}
+	}
+	for _, inj := range comp.seeds {
+		e.Seed(inj)
+	}
+	return b, nil
+}
+
+// recorderStride matches cmd/aqtsim's sizing: ~512 samples per run.
+func recorderStride(steps int64) int64 {
+	if s := steps / 512; s > 1 {
+		return s
+	}
+	return 1
+}
+
+// Outcome is the deterministic result of running a built scenario:
+// everything here is reproducible bit for bit (no wall-clock).
+type Outcome struct {
+	Mode         string
+	Snap         sim.Snapshot
+	Leaps        sim.LeapStats
+	MaxResidence int64
+	// Failures lists the post-run checks that did not hold (empty =
+	// all requested checks passed).
+	Failures []string
+}
+
+// OK reports whether every requested check passed.
+func (o Outcome) OK() bool { return len(o.Failures) == 0 }
+
+// Run executes the spec's run block (steps, mode) and evaluates its
+// checks. Wall-clock nanoseconds are zeroed out of the snapshot so an
+// Outcome is comparable across runs and machines.
+func (b *Built) Run() Outcome { return b.RunMode(b.Spec.Run.Mode) }
+
+// RunMode is Run under an explicit mode override ("", "step", "quiet"
+// or "leap") — the hook the differential matrix uses to hold one spec
+// to the same execution under all three engines paths.
+func (b *Built) RunMode(mode string) Outcome {
+	steps := b.Spec.Run.Steps
+	switch mode {
+	case "", ModeStep:
+		mode = ModeStep
+		b.Engine.Run(steps)
+	case ModeQuiet:
+		b.Engine.RunQuiet(steps)
+	case ModeLeap:
+		b.Engine.RunLeap(steps)
+	default:
+		panic(fmt.Sprintf("scenario: unknown run mode %q", mode))
+	}
+	out := Outcome{
+		Mode:         mode,
+		Snap:         b.Engine.Snap(),
+		Leaps:        b.Engine.Leaps(),
+		MaxResidence: b.Engine.MaxResidence(true),
+	}
+	out.Snap.Stats.Nanos = 0
+	out.Failures = b.evalChecks()
+	return out
+}
+
+// evalChecks runs the spec's post-run assertions, returning one
+// message per failed check.
+func (b *Built) evalChecks() []string {
+	cs := b.Spec.Checks
+	if cs == nil {
+		return nil
+	}
+	var fails []string
+	e := b.Engine
+	if cs.Conservation {
+		if msg := conservationViolation(e); msg != "" {
+			fails = append(fails, msg)
+		}
+	}
+	if cs.Drained {
+		if q := e.TotalQueued(); q != 0 {
+			fails = append(fails, fmt.Sprintf("drained: %d packets still queued", q))
+		}
+	}
+	if cs.MinInjected > 0 {
+		if inj := e.Injected(); inj < cs.MinInjected {
+			fails = append(fails, fmt.Sprintf("min_injected: %d < %d", inj, cs.MinInjected))
+		}
+	}
+	if cs.MaxResidence > 0 {
+		if r := e.MaxResidence(true); r > cs.MaxResidence {
+			fails = append(fails, fmt.Sprintf("max_residence: %d > %d", r, cs.MaxResidence))
+		}
+	}
+	if cs.MaxBacklog > 0 && b.Recorder != nil {
+		if p := b.Recorder.PeakTotal(); p > cs.MaxBacklog {
+			fails = append(fails, fmt.Sprintf("max_backlog: peak %d > %d", p, cs.MaxBacklog))
+		}
+	}
+	if cs.WindowCompliant && b.Window != nil {
+		if err := b.Window.CheckAndNotify(e); err != nil {
+			fails = append(fails, fmt.Sprintf("window_compliant: %v", err))
+		}
+	}
+	return fails
+}
+
+// conservationViolation converts the engine's conservation panic into
+// a check failure message ("" when conservation holds).
+func conservationViolation(e *sim.Engine) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	e.CheckConservation()
+	return ""
+}

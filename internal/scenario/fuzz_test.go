@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioLoad fuzzes the full Parse pipeline (strict walk →
+// decode → compile), seeded from every checked-in scenario plus a few
+// hand-picked rejects. The contract: any byte string is either
+// rejected with a positioned *Error or decodes to a spec that survives
+// an Encode → Parse round trip unchanged. Parse must never panic —
+// topology builders and adversary constructors are recover-guarded in
+// the compiler, and the fuzzer holds them to it.
+func FuzzScenarioLoad(f *testing.F) {
+	corpus, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		f.Log("no scenarios/ corpus found; fuzzing from inline seeds only")
+	}
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(validBase))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "dag", "n": 12, "m": 30, "seed": 5},
+  "policy": {"default": "LIS", "edges": {"#0": "FTG"}},
+  "adversary": {"kind": "burst", "bursts": [{"start": 2, "period": 3, "burst": 2, "budget": 10, "route": ["#0"]}]},
+  "run": {"steps": 50, "mode": "leap", "observers": ["recorder", "latency"]},
+  "checks": {"conservation": true, "max_backlog": 100}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "ring", "n": -3}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse("fuzz.json", data)
+		if err != nil {
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("rejection is %T, want *Error: %v", err, err)
+			}
+			return
+		}
+		// Accepted: Load∘Emit must be a fixed point. Encode the decoded
+		// spec and parse it back; the second decode must be valid and
+		// identical, and a second encode byte-identical.
+		enc := s.Encode()
+		s2, err := Parse("fuzz.json", enc)
+		if err != nil {
+			t.Fatalf("accepted spec fails to re-parse after Encode: %v\nencoded:\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("Encode → Parse is not a fixed point:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+		if enc2 := s2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("second Encode differs from first:\n%s\n---\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders the run outcome deterministically: no wall-clock
+// fields, no map iteration, stable field order — the same spec and the
+// same binary produce byte-identical output regardless of worker count
+// or machine. cmd/scenario's golden test holds it to that.
+func (b *Built) WriteReport(w io.Writer, out Outcome) {
+	s := b.Spec
+	fmt.Fprintf(w, "scenario %s", s.Name)
+	if s.Experiment != "" {
+		fmt.Fprintf(w, " (%s)", s.Experiment)
+	}
+	fmt.Fprintf(w, "\n  topology %s, %d edges; policy %s", s.Topology.Kind, b.Graph.NumEdges(), s.Policy.Default)
+	if n := len(s.Policy.Edges); n > 0 {
+		fmt.Fprintf(w, " (+%d per-edge overrides)", n)
+	}
+	fmt.Fprintf(w, "; adversary %s\n", s.Adversary.Kind)
+	fmt.Fprintf(w, "  ran %d steps (%s): injected %d, absorbed %d, queued %d, max queue %d\n",
+		out.Snap.Now, out.Mode, out.Snap.Injected, out.Snap.Absorbed,
+		out.Snap.TotalQueued, out.Snap.MaxQueueLen)
+	fmt.Fprintf(w, "  max residence %d", out.MaxResidence)
+	if out.Leaps.Windows > 0 {
+		fmt.Fprintf(w, "; leaped %d windows / %d steps", out.Leaps.Windows, out.Leaps.Steps)
+	}
+	fmt.Fprintln(w)
+	if b.Latency != nil {
+		st := b.Latency.Stats()
+		fmt.Fprintf(w, "  latency: n=%d min=%.0f max=%.0f mean=%.2f\n", b.Latency.Count(), st.Min, st.Max, st.Mean)
+	}
+	if b.Recorder != nil {
+		fmt.Fprintf(w, "  backlog peak %d\n", b.Recorder.PeakTotal())
+	}
+	if s.Checks != nil {
+		if out.OK() {
+			fmt.Fprintf(w, "  checks: ok\n")
+		} else {
+			for _, f := range out.Failures {
+				fmt.Fprintf(w, "  check FAILED: %s\n", f)
+			}
+		}
+	}
+}

@@ -110,19 +110,11 @@ func leapScenarios() []leapScenario {
 // engine state the equivalence contract covers.
 func requireSameExecution(t *testing.T, leap, step *sim.Engine) {
 	t.Helper()
-	sl, ss := normalize(leap.Snap()), normalize(step.Snap())
-	if sl != ss {
-		t.Errorf("RunLeap snapshot %+v != Run snapshot %+v", sl, ss)
-	}
-	for eid := 0; eid < step.Graph().NumEdges(); eid++ {
-		id := graph.EdgeID(eid)
-		if leap.QueueLen(id) != step.QueueLen(id) {
-			t.Fatalf("edge %d: RunLeap queue %d != Run queue %d",
-				eid, leap.QueueLen(id), step.QueueLen(id))
-		}
-	}
-	if lr, sr := leap.MaxResidence(true), step.MaxResidence(true); lr != sr {
-		t.Errorf("MaxResidence: RunLeap %d != Run %d", lr, sr)
+	// adversary.SameExecution is the shared equivalence gate (snapshot
+	// modulo Nanos, residence, per-edge queues packet by packet); the
+	// scenario differential matrix reuses the same comparator.
+	if err := adversary.SameExecution(leap, step); err != nil {
+		t.Errorf("RunLeap vs Run: %v", err)
 	}
 	le, ll := leap.MaxQueueLen()
 	se, sm := step.MaxQueueLen()
