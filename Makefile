@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke drop-smoke fuzz
 
 verify: test vet race
 
@@ -63,7 +63,19 @@ scenario-smoke:
 	$(GO) run ./cmd/scenario validate scenarios/*.json
 	$(GO) run ./cmd/scenario run -workers 0 scenarios/*.json
 
+# Bounded-buffer end-to-end smoke: the drop-policy and leap-equivalence
+# differential tests, the E14 goodput-vs-capacity experiment in quick
+# mode, the bounded scenario spec, and a lossy cmd/aqtsim run under
+# -cap/-drop (exact per-edge drop accounting is checked in-process by
+# the engine's conservation law).
+drop-smoke:
+	$(GO) test ./internal/sim -run 'Drop|Bounded' -count 1
+	$(GO) run ./cmd/experiments -quick -only E14
+	$(GO) run ./cmd/scenario run scenarios/e14.json
+	$(GO) run ./cmd/aqtsim -topo line -size 4 -adv burst -w 20 -rate 1/4 -cap 1 -drop head -steps 2000
+
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary
 	$(GO) test -fuzz FuzzKeyedHeapAgreement -fuzztime 30s ./internal/sim
+	$(GO) test -fuzz FuzzDropPolicy -fuzztime 30s ./internal/sim
 	$(GO) test -fuzz FuzzScenarioLoad -fuzztime 30s ./internal/scenario

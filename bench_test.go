@@ -56,6 +56,7 @@ func BenchmarkE10_Claims_Invariants(b *testing.B)        { benchExperiment(b, "E
 func BenchmarkE11_Appendix_Asymptotics(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12_ObliviousReplay(b *testing.B)          { benchExperiment(b, "E12") }
 func BenchmarkE13_NearHalfSweep(b *testing.B)            { benchExperiment(b, "E13") }
+func BenchmarkE14_BoundedBuffers(b *testing.B)           { benchExperiment(b, "E14") }
 func BenchmarkF1_Figure31_Gadget(b *testing.B)           { benchExperiment(b, "F1") }
 func BenchmarkF2_Figure32_GEpsilon(b *testing.B)         { benchExperiment(b, "F2") }
 func BenchmarkB1_DepthThresholds(b *testing.B)           { benchExperiment(b, "B1") }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	aqtsim -topo ring -size 6 -policy FIFO -w 20 -rate 1/4 -maxlen 3 -steps 10000
+//	aqtsim -topo line -size 4 -adv burst -cap 8 -drop ntg -steps 10000
 //	aqtsim -scenario scenarios/quickstart.json
 //
 // Rates are rationals ("1/4") or decimals ("0.25"). With -scenario,
@@ -64,6 +65,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "adversary seed")
 	advName := flag.String("adv", "random", "adversary: random (smooth (w,r) traffic) | burst (extremal single-step bursts)")
 	leap := flag.Bool("leap", false, "run in leap mode (batch-advance provably static windows; identical results)")
+	bufCap := flag.Int("cap", 0, "per-edge buffer capacity (0 = unbounded)")
+	dropName := flag.String("drop", "tail", "drop policy at full buffers: tail|head|ntg (needs -cap >= 1)")
 	validate := flag.Bool("validate", true, "run the (w,r) compliance validator")
 	csv := flag.String("csv", "", "write the queue-size series to this file")
 	trace := flag.String("trace", "", "write a flight-recorder JSONL event trace to this file")
@@ -112,7 +115,18 @@ func main() {
 	default:
 		die(fmt.Errorf("unknown adversary %q (random|burst)", *advName))
 	}
-	eng := sim.New(g, pol, adv)
+	var cfg sim.Config
+	if *bufCap < 0 {
+		die(fmt.Errorf("-cap must be >= 0 (0 = unbounded), got %d", *bufCap))
+	}
+	if *bufCap > 0 {
+		drop, err := sim.DropByName(*dropName)
+		if err != nil {
+			die(err)
+		}
+		cfg = sim.Config{BufferCap: *bufCap, Drop: drop}
+	}
+	eng := sim.NewWithConfig(g, pol, adv, cfg)
 	rec := sim.NewRecorder(maxI64(*steps/512, 1))
 	eng.AddObserver(rec)
 	lat := &sim.LatencyObserver{}
@@ -149,6 +163,9 @@ func main() {
 			ls.Windows, ls.Idle, ls.Drain, ls.Steps, *steps)
 	}
 	fmt.Printf("injected %d, absorbed %d, in flight %d\n", snap.Injected, snap.Absorbed, snap.TotalQueued)
+	if eng.BufferCap() > 0 {
+		fmt.Printf("buffer cap %d (drop %s): dropped %d\n", eng.BufferCap(), eng.Drop().Name(), snap.Dropped)
+	}
 	fmt.Printf("peak backlog %d; max single buffer %d (edge %s)\n",
 		rec.PeakTotal(), snap.MaxQueueLen, g.EdgeName(snap.MaxQueueAt))
 	fmt.Printf("max per-buffer residence %d (floor(w*r) bound: %d)\n",

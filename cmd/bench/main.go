@@ -212,6 +212,39 @@ func specs() []benchSpec {
 		}
 	}
 
+	// The bounded-buffer pair: the Step/Line32/FIFO traffic run through
+	// NewWithConfig, once with cap 0 (the unbounded control — must match
+	// Step/Line32/FIFO, pinning that the bounded branch costs nothing
+	// when off) and once with a cap-8 drop-tail buffer (the capacity
+	// check plus drop accounting on every enqueue). Both stay
+	// allocation-free on the hot path.
+	for _, cfg := range []struct {
+		name string
+		cap  int
+		drop sim.DropPolicy
+	}{{"StepBounded/Line32/fifo", 0, nil}, {"StepBounded/Line32/droptail", 8, sim.DropTail{}}} {
+		cfg := cfg
+		out = append(out, benchSpec{
+			name: cfg.name,
+			run: func() (testing.BenchmarkResult, sim.StepStats) {
+				var eng *sim.Engine
+				res := testing.Benchmark(func(b *testing.B) {
+					g := graph.Line(32)
+					adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+					eng = sim.NewWithConfig(g, policy.FIFO{}, adv,
+						sim.Config{BufferCap: cfg.cap, Drop: cfg.drop})
+					eng.Run(256)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						eng.Step()
+					}
+				})
+				return res, eng.Stats()
+			},
+		})
+	}
+
 	// The Lemma 3.3 reroute regime: to-go policies under sustained
 	// route replacement at a gadget ingress. This is the workload the
 	// keyed-heap tombstone scheme exists for — the eager rebuild paid

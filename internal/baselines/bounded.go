@@ -1,0 +1,35 @@
+package baselines
+
+import "aqt/internal/rational"
+
+// E14 — bounded buffers (Miller, Patt-Shamir, Rosenbaum, "With Great
+// Speed Come Small Buffers", PODC 2019). When every buffer holds at
+// most B packets and the workload is a periodic burst of b packets
+// into one edge with enough quiet time for the buffer to drain fully
+// before the next burst, the loss per burst is exact for every
+// work-conserving drop policy — the policy chooses *which* packet to
+// discard, never *how many*:
+//
+//	drops/burst = max(0, b − B),   goodput = min(B, b) / b
+//
+// and the minimal loss-free capacity is B* = b. The E14 runner checks
+// a capacity sweep row-by-row against these predictions and recovers
+// B* independently with stability.MinStableCap.
+
+// BoundedLoss returns the predicted packet loss per burst of size
+// burst into an empty capacity-cap buffer: max(0, burst − cap).
+func BoundedLoss(burst, cap int64) int64 {
+	if d := burst - cap; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// BoundedGoodput returns the predicted delivered fraction
+// min(cap, burst)/burst for the same regime, as an exact rational.
+func BoundedGoodput(burst, cap int64) rational.Rat {
+	if cap > burst {
+		cap = burst
+	}
+	return rational.New(cap, burst)
+}

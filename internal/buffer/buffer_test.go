@@ -264,6 +264,60 @@ func TestQuickAgainstReference(t *testing.T) {
 	}
 }
 
+// TestEvictionPatternsPreserveOrder drives the buffer through the
+// access patterns the bounded-buffer drop policies use — RemoveAt(0)
+// for drop-head, RemoveAt(mid) for drop-ntg victims, PushBack for the
+// admitted arrival — at a fixed capacity, and checks the survivors
+// keep strictly increasing EnqueueSeq through wraps and evictions
+// (the sortedness IndexOfSeq's binary search depends on).
+func TestEvictionPatternsPreserveOrder(t *testing.T) {
+	const cap = 4
+	seq := int64(0)
+	push := func(b *Buffer, id int) {
+		p := pk(id)
+		p.EnqueueSeq = seq
+		seq++
+		b.PushBack(p)
+	}
+	sorted := func(b *Buffer) bool {
+		for i := 1; i < b.Len(); i++ {
+			if b.At(i-1).EnqueueSeq >= b.At(i).EnqueueSeq {
+				return false
+			}
+		}
+		return true
+	}
+	for name, victim := range map[string]func(b *Buffer, arrival int) int{
+		"head": func(*Buffer, int) int { return 0 },
+		"ntg":  func(b *Buffer, arrival int) int { return arrival % b.Len() },
+	} {
+		var b Buffer
+		for id := 0; id < 200; id++ {
+			if b.Len() >= cap {
+				v := victim(&b, id)
+				want := b.At(v)
+				if got := b.RemoveAt(v); got != want {
+					t.Fatalf("%s: RemoveAt(%d) returned %v, want %v", name, v, got, want)
+				}
+			}
+			push(&b, id)
+			if b.Len() > cap {
+				t.Fatalf("%s: occupancy %d exceeds cap %d", name, b.Len(), cap)
+			}
+			if !sorted(&b) {
+				t.Fatalf("%s: EnqueueSeq order broken after id %d: %v", name, id, ids(&b))
+			}
+			// IndexOfSeq must still resolve every survivor.
+			for i := 0; i < b.Len(); i++ {
+				p := b.At(i)
+				if got := b.IndexOfSeq(p.EnqueueSeq); got != i {
+					t.Fatalf("%s: IndexOfSeq(%d) = %d, want %d", name, p.EnqueueSeq, got, i)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	var buf Buffer
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"aqt/internal/adversary"
+	"aqt/internal/baselines"
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/sim"
+	"aqt/internal/stability"
+)
+
+// E14BoundedBuffers measures the goodput-versus-capacity tradeoff of
+// bounded buffers (Miller, Patt-Shamir, Rosenbaum, "With Great Speed
+// Come Small Buffers", PODC 2019) on the canonical overload pattern:
+// periodic bursts of b packets into a drop-tail buffer of capacity B
+// that fully drains between bursts. The loss is then exact, not
+// asymptotic —
+//
+//	drops/burst = max(0, b - B),   goodput = min(B, b) / b
+//
+// — and every row is checked against it, with conservation (injected =
+// absorbed + queued + dropped) enforced per run. A second block holds
+// all three drop policies to the same loss count at one capacity (the
+// policy chooses the victim, never the number of victims), and the
+// final block bisects the minimal loss-free capacity with
+// stability.MinStableCap, which must land exactly on B* = b.
+func E14BoundedBuffers(q Quick) *Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Bounded buffers: goodput vs capacity under periodic overload",
+		Columns: []string{"cap", "drop", "injected", "absorbed", "dropped", "drops_pred", "goodput", "goodput_pred", "ok"},
+		OK:      true,
+	}
+	burst, nBursts := int64(12), int64(50)
+	if q {
+		burst, nBursts = 6, 10
+	}
+	period := burst + 4 // the buffer drains fully between bursts at any cap
+	steps := period*nBursts + burst + 8
+
+	run := func(cap int, drop sim.DropPolicy) *sim.Engine {
+		g := graph.Line(4)
+		bs := adversary.BurstStream{
+			Name: "burst", Start: 1, Period: period, Burst: burst, Budget: nBursts * burst,
+			Route: []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")},
+		}
+		e := sim.NewWithConfig(g, policy.FIFO{}, adversary.NewBurstScript(bs),
+			sim.Config{BufferCap: cap, Drop: drop})
+		e.RunLeap(steps)
+		e.CheckConservation()
+		return e
+	}
+	row := func(cap int, drop sim.DropPolicy) {
+		e := run(cap, drop)
+		injected, absorbed, dropped := e.Injected(), e.Absorbed(), e.Dropped()
+		dropsPred := nBursts * baselines.BoundedLoss(burst, int64(cap))
+		goodput := float64(absorbed) / float64(injected)
+		goodputPred := baselines.BoundedGoodput(burst, int64(cap)).Float()
+		rowOK := e.TotalQueued() == 0 &&
+			injected == nBursts*burst &&
+			dropped == dropsPred &&
+			absorbed == injected-dropped &&
+			e.DropsAt(e.Graph().MustEdge("e1")) == dropped // only the first buffer overflows
+		if !rowOK {
+			t.OK = false
+		}
+		t.AddRow(cap, drop.Name(), injected, absorbed, dropped, dropsPred, goodput, goodputPred, rowOK)
+	}
+
+	// Goodput sweep under drop-tail: capacity from starvation to
+	// loss-free (one slot above the burst confirms the knee is sharp).
+	for cap := 1; int64(cap) <= burst+1; cap++ {
+		row(cap, sim.DropTail{})
+	}
+	// Loss count is policy-independent; only victim selection differs.
+	lossy := int(burst) / 2
+	row(lossy, sim.DropHead{})
+	row(lossy, sim.DropNTG{})
+
+	// Minimal loss-free capacity by bisection: B*(burst) = burst.
+	probe := func(cap int64) stability.Verdict {
+		if run(int(cap), sim.DropTail{}).Dropped() == 0 {
+			return stability.Stable
+		}
+		return stability.Diverging
+	}
+	bstar := stability.MinStableCap(probe, 1, burst+4)
+	if bstar != burst {
+		t.OK = false
+	}
+	t.AddNote("MinStableCap bisection: minimal loss-free capacity B* = %d, predicted burst size b = %d — %s",
+		bstar, burst, passFail(bstar == burst))
+	t.AddNote("period = b + 4 ensures every buffer drains between bursts, so the MPR loss formula is exact, not asymptotic")
+	return t
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "match"
+	}
+	return "MISMATCH"
+}

@@ -33,7 +33,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestRunnerRegistry(t *testing.T) {
 	rs := All()
-	if len(rs) != 22 {
+	if len(rs) != 23 {
 		t.Fatalf("%d runners", len(rs))
 	}
 	seen := map[string]bool{}
@@ -88,6 +88,7 @@ func TestB1Quick(t *testing.T)  { runQuick(t, "B1") }
 func TestB2Quick(t *testing.T)  { runQuick(t, "B2") }
 func TestB4Quick(t *testing.T)  { runQuick(t, "B4") }
 func TestE13Quick(t *testing.T) { runQuick(t, "E13") }
+func TestE14Quick(t *testing.T) { runQuick(t, "E14") }
 func TestU1Quick(t *testing.T)  { runQuick(t, "U1") }
 func TestH1Quick(t *testing.T)  { runQuick(t, "H1") }
 

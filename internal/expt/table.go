@@ -141,6 +141,7 @@ func All() []Runner {
 		{"E11", "Appendix asymptotics", E11Asymptotics},
 		{"E12", "Oblivious replay (Remark 1)", E12ObliviousReplay},
 		{"E13", "Pump growth as eps -> 0", E13NearHalf},
+		{"E14", "Bounded buffers: goodput vs capacity", E14BoundedBuffers},
 		{"F1", "Figure 3.1 gadget structure", F1Figure31},
 		{"F2", "Figure 3.2 G_eps structure", F2Figure32},
 		{"B1", "Depth-limited instability thresholds", B1DepthThresholds},

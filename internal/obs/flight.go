@@ -34,9 +34,10 @@ const (
 	EvMarker
 	EvFailure
 	EvLeap
+	EvDrop
 )
 
-var kindNames = [...]string{"inject", "send", "absorb", "reroute", "marker", "failure", "leap"}
+var kindNames = [...]string{"inject", "send", "absorb", "reroute", "marker", "failure", "leap", "drop"}
 
 // Labels of leap events, by window kind.
 const (
@@ -59,6 +60,7 @@ func (k EventKind) String() string {
 //	send:    Pkt, Edge (edge being crossed), Hops (remaining incl. current)
 //	absorb:  Pkt, Edge (last route edge), Label (stream name)
 //	reroute: Pkt, Edge (current edge), Hops (new route length), Aux (old route length)
+//	drop:    Pkt, Edge (the full buffer), Hops (remaining incl. current), Label (stream name)
 //	marker:  Label (annotation, e.g. an adversary phase name)
 //	failure: Label (the invariant-violation message)
 //	leap:    Hops (window length in steps; T is the window's last step),
@@ -136,6 +138,15 @@ func (r *FlightRecorder) OnAbsorb(t int64, p *packet.Packet) {
 func (r *FlightRecorder) OnReroute(t int64, p *packet.Packet, oldRoute []graph.EdgeID) {
 	r.record(Event{T: t, Kind: EvReroute, Pkt: int64(p.ID),
 		Edge: p.CurrentEdge(), Hops: len(p.Route), Aux: len(oldRoute), Label: p.SourceName})
+}
+
+// OnDrop implements sim.DropObserver: a packet discarded at the full
+// buffer of edge eid (bounded-buffer mode), with its remaining work in
+// Hops — the same field OnSend uses, so a trace shows how far from its
+// destination each casualty was.
+func (r *FlightRecorder) OnDrop(t int64, eid graph.EdgeID, p *packet.Packet) {
+	r.record(Event{T: t, Kind: EvDrop, Pkt: int64(p.ID),
+		Edge: eid, Hops: p.RemainingHops(), Label: p.SourceName})
 }
 
 // OnMarker implements sim.MarkerObserver: adversary phase markers and

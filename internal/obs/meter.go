@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"aqt/internal/graph"
 	"aqt/internal/packet"
 	"aqt/internal/sim"
 )
@@ -11,8 +12,12 @@ import (
 //	sim.queue_max       histogram of the max single-buffer occupancy, per step
 //	sim.latency         histogram of end-to-end packet latency, per absorption
 //	sim.edge_occupancy  histogram of per-edge queue length at Finish time
+//	sim.drop_hops       histogram of remaining hops of dropped packets,
+//	                    per drop (bounded-buffer mode; registered on the
+//	                    first drop, so unbounded summaries are unchanged)
 //	sim.steps/sends/receives/injections/absorbed, sim.heap_skips,
-//	sim.heap_compactions — StepStats counters, folded in by Finish
+//	sim.heap_compactions — StepStats counters, folded in by Finish,
+//	plus sim.drops when any packet was dropped
 //
 // Register it with sim.Engine.AddObserver (it needs the per-step
 // OnStep hook); its handles live in a Registry, so per-engine meters
@@ -25,6 +30,7 @@ type Meter struct {
 	qMax     *Histogram
 	latency  *Histogram
 	occ      *Histogram
+	dropHops *Histogram // lazily registered by the first OnDrop
 	finished bool
 }
 
@@ -57,6 +63,18 @@ func (m *Meter) OnStep(e *sim.Engine) {
 // absorption time minus injection time.
 func (m *Meter) OnAbsorb(t int64, p *packet.Packet) {
 	m.latency.Observe(t - p.InjectedAt)
+}
+
+// OnDrop implements sim.DropObserver: the remaining-hops distribution
+// of the casualties of a bounded buffer — how much delivered work each
+// drop cost. The histogram is created on the first drop (one-time
+// allocation off the zero-alloc gated path), keeping unbounded-mode
+// registries exactly as before bounded buffers existed.
+func (m *Meter) OnDrop(t int64, eid graph.EdgeID, p *packet.Packet) {
+	if m.dropHops == nil {
+		m.dropHops = m.reg.Histogram("sim.drop_hops")
+	}
+	m.dropHops.Observe(int64(p.RemainingHops()))
 }
 
 // AcceptLeap implements sim.LeapObserver: idle windows observe k zeros
@@ -96,4 +114,7 @@ func (m *Meter) Finish(e *sim.Engine) {
 	m.reg.Counter("sim.absorbed").Add(e.Absorbed())
 	m.reg.Counter("sim.heap_skips").Add(st.HeapSkips)
 	m.reg.Counter("sim.heap_compactions").Add(st.HeapCompactions)
+	if st.Drops > 0 {
+		m.reg.Counter("sim.drops").Add(st.Drops)
+	}
 }

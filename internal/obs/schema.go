@@ -9,8 +9,8 @@ import (
 
 // ValidateJSONL checks that r is a well-formed flight-recorder dump:
 // every non-empty line is a JSON object with an integer "t" >= 0 and a
-// known "kind"; packet kinds (inject/send/absorb/reroute) must carry
-// "pkt", "edge" and "hops", marker/failure lines must carry a
+// known "kind"; packet kinds (inject/send/absorb/reroute/drop) must
+// carry "pkt", "edge" and "hops", marker/failure lines must carry a
 // non-empty "label", and leap lines must carry a positive "hops"
 // (window length) plus a label. It returns the number of validated
 // events. The `make trace-smoke` target runs cmd/aqtsim -trace through
@@ -44,7 +44,7 @@ func ValidateJSONL(r io.Reader) (int, error) {
 			return n, fmt.Errorf("line %d: missing \"kind\"", line)
 		}
 		switch *ev.Kind {
-		case "inject", "send", "absorb", "reroute":
+		case "inject", "send", "absorb", "reroute", "drop":
 			if ev.Pkt == nil || ev.Edge == nil || ev.Hops == nil {
 				return n, fmt.Errorf("line %d: %s event needs pkt/edge/hops", line, *ev.Kind)
 			}

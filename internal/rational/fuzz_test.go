@@ -44,8 +44,8 @@ func FuzzPacerCumulative(f *testing.F) {
 	f.Add(int64(1), int64(1), uint(10))
 	f.Add(int64(7), int64(2), uint(30))
 	f.Fuzz(func(t *testing.T, num, den int64, ticks uint) {
-		num = abs(num) % 100
-		den = abs(den)%100 + 1
+		num = int64(mag(num) % 100)
+		den = int64(mag(den)%100) + 1
 		if ticks > 3000 {
 			ticks = 3000
 		}

@@ -1,0 +1,172 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigOf converts r to a math/big.Rat for oracle comparisons.
+func bigOf(r Rat) *big.Rat { return big.NewRat(r.Num(), r.Den()) }
+
+// eqBig reports whether r equals the big.Rat oracle value b.
+func eqBig(r Rat, b *big.Rat) bool { return bigOf(r).Cmp(b) == 0 }
+
+// fitsInt64 reports whether b (already in lowest terms — big.Rat
+// normalizes) is representable as an int64/int64 Rat with a positive
+// denominator.
+func fitsInt64(b *big.Rat) bool {
+	return b.Num().IsInt64() && b.Denom().IsInt64()
+}
+
+// TestAddSubNoSpuriousOverflow pins the bug this file exists for: the
+// old Add/Sub multiplied the raw denominators before reducing, so
+// accumulating a small rate overflowed int64 long before the true
+// reduced value did. With lcm-form reduction, any operation whose
+// inputs share their denominator must succeed no matter how large the
+// denominator is.
+func TestAddSubNoSpuriousOverflow(t *testing.T) {
+	bigDen := int64(3_037_000_499) // ~sqrt(MaxInt64); den*den overflows
+	a := New(1, bigDen)
+	var sum Rat
+	for i := 0; i < 1000; i++ {
+		sum = sum.Add(a) // pre-fix: panics on the first iteration (den*den)
+	}
+	if want := New(1000, bigDen); !sum.Eq(want) {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	if d := sum.Sub(New(999, bigDen)); !d.Eq(a) {
+		t.Fatalf("sub = %v, want %v", d, a)
+	}
+	// Different but heavily-shared denominators: lcm fits, product does not.
+	x, y := New(1, 2*bigDen), New(1, 3*bigDen)
+	got := x.Add(y)
+	want := new(big.Rat).Add(bigOf(x), bigOf(y))
+	if !eqBig(got, want) {
+		t.Fatalf("%v + %v = %v, want %v", x, y, got, want.RatString())
+	}
+}
+
+// TestGcdMinInt64 pins the abs(MinInt64) bug: the old int64 abs
+// returned MinInt64 unchanged (negative), feeding gcd a negative
+// operand and corrupting the reduction.
+func TestGcdMinInt64(t *testing.T) {
+	r := New(math.MinInt64, 4)
+	if want := New(math.MinInt64/4, 1); !r.Eq(want) {
+		t.Fatalf("New(MinInt64, 4) = %v, want %v", r, want)
+	}
+	if r := New(math.MinInt64, 2); r.Num() != math.MinInt64/2 || r.Den() != 1 {
+		t.Fatalf("New(MinInt64, 2) = %v", r)
+	}
+	if r := New(math.MinInt64, math.MinInt64); !r.Eq(FromInt(1)) {
+		t.Fatalf("New(MinInt64, MinInt64) = %v, want 1", r)
+	}
+	if r := New(0, math.MinInt64); !r.IsZero() || r.Den() != 1 {
+		t.Fatalf("New(0, MinInt64) = %v, want 0/1", r)
+	}
+	// MinInt64 with an odd coprime denominator cannot be normalized to a
+	// positive den: documented panic, not silent corruption.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New(3, MinInt64) did not panic")
+		}
+	}()
+	New(3, math.MinInt64)
+}
+
+// TestCheckedOverflowPanics verifies genuine overflow panics instead of
+// wrapping: the reduced result itself does not fit int64.
+func TestCheckedOverflowPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"add", func() { FromInt(math.MaxInt64).Add(FromInt(1)) }},
+		{"sub", func() { FromInt(math.MinInt64).Sub(FromInt(1)) }},
+		{"mul", func() { FromInt(math.MaxInt64).Mul(FromInt(2)) }},
+		{"add-lcm", func() { New(math.MaxInt64, 2).Add(New(math.MaxInt64, 3)) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected overflow panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+// TestArithmeticVsBigRat is the property test: on random operands, Add,
+// Sub, Mul and Div agree exactly with math/big.Rat whenever they return
+// at all; a panic is legal only when the exact result does not fit an
+// int64/int64 rational (so lcm-reduction must have removed every
+// avoidable overflow).
+func TestArithmeticVsBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	randRat := func() Rat {
+		// Mix magnitudes: small operands, shared denominators, and
+		// near-extremal values that stress the checked paths.
+		switch rng.Intn(4) {
+		case 0:
+			return New(rng.Int63n(2001)-1000, rng.Int63n(1000)+1)
+		case 1:
+			return New(rng.Int63n(201)-100, []int64{6, 12, 30, 210, 2310}[rng.Intn(5)])
+		case 2:
+			return New(rng.Int63()-rng.Int63(), rng.Int63n(1<<40)+1)
+		default:
+			return New(rng.Int63()-rng.Int63(), rng.Int63()+1)
+		}
+	}
+	ops := []struct {
+		name string
+		rat  func(a, b Rat) Rat
+		big  func(x, y *big.Rat) *big.Rat
+		ok   func(b Rat) bool
+	}{
+		{"add", Rat.Add, func(x, y *big.Rat) *big.Rat { return new(big.Rat).Add(x, y) }, func(Rat) bool { return true }},
+		{"sub", Rat.Sub, func(x, y *big.Rat) *big.Rat { return new(big.Rat).Sub(x, y) }, func(Rat) bool { return true }},
+		{"mul", Rat.Mul, func(x, y *big.Rat) *big.Rat { return new(big.Rat).Mul(x, y) }, func(Rat) bool { return true }},
+		{"div", Rat.Div, func(x, y *big.Rat) *big.Rat { return new(big.Rat).Quo(x, y) }, func(b Rat) bool { return !b.IsZero() }},
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := randRat(), randRat()
+		op := ops[rng.Intn(len(ops))]
+		if !op.ok(b) {
+			continue
+		}
+		want := op.big(bigOf(a), bigOf(b))
+		got, panicked := func() (r Rat, panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			return op.rat(a, b), false
+		}()
+		if panicked {
+			if fitsInt64(want) {
+				t.Fatalf("%s(%v, %v) panicked but exact result %s fits int64",
+					op.name, a, b, want.RatString())
+			}
+			continue
+		}
+		if !eqBig(got, want) {
+			t.Fatalf("%s(%v, %v) = %v, want %s", op.name, a, b, got, want.RatString())
+		}
+	}
+}
+
+// TestCmpVsBigRat checks the comparison chain (Cmp routes through Sub)
+// against the oracle on operands whose differences stay in range.
+func TestCmpVsBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		a := New(rng.Int63n(1<<30)-(1<<29), rng.Int63n(1<<20)+1)
+		b := New(rng.Int63n(1<<30)-(1<<29), rng.Int63n(1<<20)+1)
+		if got, want := a.Cmp(b), bigOf(a).Cmp(bigOf(b)); got != want {
+			t.Fatalf("Cmp(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+}

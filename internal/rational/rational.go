@@ -9,11 +9,25 @@
 //
 // Values are kept in lowest terms with a positive denominator. The zero
 // value is 0/1 and ready to use.
+//
+// Overflow policy: Add, Sub, Mul and Div return the exact result
+// whenever it is representable as an int64/int64 rational. The fast
+// path reduces intermediates before multiplying — Add/Sub combine over
+// the lcm of the denominators instead of the raw product, Mul
+// cross-reduces — and every intermediate multiply/add is
+// overflow-checked; when one would overflow anyway, the operation
+// recomputes through math/big off the hot path. Only a result that
+// genuinely does not fit even in lowest terms panics with a
+// "rational: int64 overflow" message rather than silently wrapping:
+// rate accounting that has left int64 range is a programming error,
+// and a wrapped rate would corrupt every downstream floor(r*t) count
+// bit for bit. Cmp (and Less/LessEq/Eq) never overflows.
 package rational
 
 import (
 	"fmt"
 	"math"
+	"math/big"
 	"strconv"
 	"strings"
 )
@@ -25,20 +39,47 @@ type Rat struct {
 }
 
 // New returns the rational num/den reduced to lowest terms.
-// It panics if den == 0.
+// It panics if den == 0, or if the value cannot be represented with a
+// positive int64 denominator (num or den equal to math.MinInt64 with
+// no common factor to reduce away — negating MinInt64 overflows).
 func New(num, den int64) Rat {
 	if den == 0 {
 		panic("rational: zero denominator")
 	}
+	// Reduce on magnitudes first: mag handles MinInt64 (whose absolute
+	// value does not fit int64), and dividing by a shared factor g > 1
+	// pulls MinInt64 operands back into negatable range.
+	if g := gcd(mag(num), mag(den)); g > 1 {
+		num = signedDiv(num, g)
+		den = signedDiv(den, g)
+	}
 	if den < 0 {
+		if num == math.MinInt64 || den == math.MinInt64 {
+			panic(fmt.Sprintf("rational: int64 overflow normalizing %d/%d", num, den))
+		}
 		num, den = -num, -den
 	}
-	g := gcd(abs(num), den)
-	if g > 1 {
-		num /= g
-		den /= g
-	}
 	return Rat{num, den}
+}
+
+// mag returns |a| as a uint64; unlike an int64 abs it is correct for
+// math.MinInt64 (magnitude 1<<63).
+func mag(a int64) uint64 {
+	if a < 0 {
+		return -uint64(a)
+	}
+	return uint64(a)
+}
+
+// signedDiv returns a/g computed on magnitudes, correct for
+// a == math.MinInt64 (any divisor g > 1 brings the quotient back into
+// int64 range).
+func signedDiv(a int64, g uint64) int64 {
+	q := int64(mag(a) / g)
+	if a < 0 {
+		return -q
+	}
+	return q
 }
 
 // FromInt returns the rational n/1.
@@ -139,25 +180,72 @@ func (r Rat) String() string {
 	return fmt.Sprintf("%d/%d", r.num, r.den)
 }
 
-// Add returns r + s.
-func (r Rat) Add(s Rat) Rat {
-	r, s = r.normalized(), s.normalized()
-	return New(r.num*s.den+s.num*r.den, r.den*s.den)
-}
+// Add returns r + s. The sum is formed over lcm(r.den, s.den), not the
+// raw denominator product: with g = gcd(r.den, s.den) it computes
+// (r.num*(s.den/g) + s.num*(r.den/g)) / (r.den*(s.den/g)), so rates
+// that share denominator structure — the common case for the token
+// buckets accumulating r over millions of steps — never leave int64
+// range on the fast path. See the package overflow policy for the
+// fallback and panic rules.
+func (r Rat) Add(s Rat) Rat { return r.addSub(s, false) }
 
-// Sub returns r - s.
-func (r Rat) Sub(s Rat) Rat {
+// Sub returns r - s, reduced over lcm(r.den, s.den) exactly like Add.
+func (r Rat) Sub(s Rat) Rat { return r.addSub(s, true) }
+
+func (r Rat) addSub(s Rat, neg bool) Rat {
 	r, s = r.normalized(), s.normalized()
-	return New(r.num*s.den-s.num*r.den, r.den*s.den)
+	g := int64(gcd(uint64(r.den), uint64(s.den))) // dens > 0, so exact
+	sd := s.den / g
+	x, ok1 := mulCheck(r.num, sd)
+	y, ok2 := mulCheck(s.num, r.den/g)
+	if neg {
+		y = -y
+		ok2 = ok2 && y != math.MinInt64 // -MinInt64 wraps to itself
+	}
+	if ok1 && ok2 {
+		if num, ok := addCheck(x, y); ok {
+			if den, ok := mulCheck(r.den, sd); ok {
+				return New(num, den)
+			}
+		}
+	}
+	op, b := "+", new(big.Rat).Add(r.big(), s.big())
+	if neg {
+		op, b = "-", new(big.Rat).Sub(r.big(), s.big())
+	}
+	return fromBig(b, r, op, s)
 }
 
 // Mul returns r * s.
 func (r Rat) Mul(s Rat) Rat {
 	r, s = r.normalized(), s.normalized()
 	// Cross-reduce first to keep intermediates small.
-	g1 := gcd(abs(r.num), s.den)
-	g2 := gcd(abs(s.num), r.den)
-	return New((r.num/g1)*(s.num/g2), (r.den/g2)*(s.den/g1))
+	g1 := int64(gcd(mag(r.num), uint64(s.den)))
+	g2 := int64(gcd(mag(s.num), uint64(r.den)))
+	if num, ok := mulCheck(r.num/g1, s.num/g2); ok {
+		if den, ok := mulCheck(r.den/g2, s.den/g1); ok {
+			return New(num, den)
+		}
+	}
+	return fromBig(new(big.Rat).Mul(r.big(), s.big()), r, "*", s)
+}
+
+// big returns r as a math/big.Rat (the overflow fallback path only).
+func (r Rat) big() *big.Rat {
+	r = r.normalized()
+	return big.NewRat(r.num, r.den)
+}
+
+// fromBig converts the exact result b of the operation "x op y" back
+// to a Rat, panicking when it does not fit an int64/int64 rational
+// even in lowest terms (big.Rat keeps values normalized with a
+// positive denominator, so the fields transfer directly).
+func fromBig(b *big.Rat, x Rat, op string, y Rat) Rat {
+	if b.Num().IsInt64() && b.Denom().IsInt64() {
+		return Rat{b.Num().Int64(), b.Denom().Int64()}
+	}
+	panic(fmt.Sprintf("rational: int64 overflow in %v %s %v (exact value %s)",
+		x, op, y, b.RatString()))
 }
 
 // Div returns r / s. It panics if s == 0.
@@ -175,10 +263,24 @@ func (r Rat) MulInt(n int64) Rat { return r.Mul(FromInt(n)) }
 // Inv returns 1/r. It panics if r == 0.
 func (r Rat) Inv() Rat { return FromInt(1).Div(r) }
 
-// Cmp compares r and s, returning -1, 0 or +1.
+// Cmp compares r and s, returning -1, 0 or +1. Comparison never
+// overflows: the lcm-form cross products are overflow-checked and the
+// rare out-of-range pair falls back to math/big.
 func (r Rat) Cmp(s Rat) int {
-	d := r.Sub(s)
-	return d.Sign()
+	r, s = r.normalized(), s.normalized()
+	g := int64(gcd(uint64(r.den), uint64(s.den)))
+	x, ok1 := mulCheck(r.num, s.den/g)
+	y, ok2 := mulCheck(s.num, r.den/g)
+	if ok1 && ok2 {
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	return r.big().Cmp(s.big())
 }
 
 // Less reports whether r < s.
@@ -243,14 +345,11 @@ func ceilDiv(a, b int64) int64 {
 	return q
 }
 
-func abs(a int64) int64 {
-	if a < 0 {
-		return -a
-	}
-	return a
-}
-
-func gcd(a, b int64) int64 {
+// gcd returns the greatest common divisor of a and b (gcd(0, 0) = 1 so
+// callers can always divide by it). It runs on uint64 magnitudes so
+// the MinInt64 magnitude 1<<63 — which no int64 abs can represent — is
+// handled exactly.
+func gcd(a, b uint64) uint64 {
 	for b != 0 {
 		a, b = b, a%b
 	}
@@ -258,6 +357,38 @@ func gcd(a, b int64) int64 {
 		return 1
 	}
 	return a
+}
+
+// mulCheck returns a*b and whether the product stayed in int64 range.
+func mulCheck(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// Only a factor of exactly 1 keeps MinInt64 in range (the c/b
+		// probe below would itself fault on MinInt64 / -1).
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	c := a * b
+	if c/b != a {
+		return 0, false
+	}
+	return c, true
+}
+
+// addCheck returns a+b and whether the sum stayed in int64 range.
+func addCheck(a, b int64) (int64, bool) {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		return 0, false
+	}
+	return c, true
 }
 
 // Parse reads a rate from its textual forms: a fraction "num/den", an

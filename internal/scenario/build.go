@@ -94,7 +94,7 @@ func build(c ctx, s *Spec) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{}
+	cfg := sim.Config{BufferCap: comp.bufCap, Drop: comp.drop}
 	if len(comp.perEdge) > 0 {
 		perEdge := comp.perEdge
 		// PolicyFor returning nil falls back to the default policy.
@@ -220,6 +220,15 @@ func (b *Built) evalChecks() []string {
 	if cs.WindowCompliant && b.Window != nil {
 		if err := b.Window.CheckAndNotify(e); err != nil {
 			fails = append(fails, fmt.Sprintf("window_compliant: %v", err))
+		}
+	}
+	if cs.MaxDropped != 0 {
+		limit := cs.MaxDropped
+		if limit < 0 { // -1 = exactly zero drops
+			limit = 0
+		}
+		if d := e.Dropped(); d > limit {
+			fails = append(fails, fmt.Sprintf("max_dropped: %d > %d", d, limit))
 		}
 	}
 	return fails

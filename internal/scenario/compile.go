@@ -28,6 +28,7 @@ const (
 	maxReplayPkts = int64(1) << 22
 	maxRouteLen   = 1 << 12
 	maxAttempts   = 1 << 10
+	maxBufferCap  = 1 << 20
 )
 
 // Run modes.
@@ -57,6 +58,8 @@ type compiled struct {
 	seeds   []packet.Injection
 	winW    int64
 	winRate rational.Rat
+	bufCap  int            // 0 = unbounded
+	drop    sim.DropPolicy // nil when bufCap == 0
 }
 
 // ctx carries the error-positioning state through compilation.
@@ -116,6 +119,28 @@ func compile(c ctx, s *Spec) (*compiled, error) {
 	out.makeAdv, err = compileAdversary(c, g, "adversary", s.Adversary, true)
 	if err != nil {
 		return nil, err
+	}
+
+	// Buffer block (absent = unbounded).
+	if b := s.Buffer; b != nil {
+		if b.Cap < 0 || b.Cap > maxBufferCap {
+			return nil, c.errf("buffer.cap", "cap must be in [0, %d] (0 = unbounded), got %d", maxBufferCap, b.Cap)
+		}
+		if b.Cap == 0 {
+			if b.Drop != "" {
+				return nil, c.errf("buffer.drop", "drop policy %q needs cap >= 1 (cap 0 is unbounded)", b.Drop)
+			}
+		} else {
+			name := b.Drop
+			if name == "" {
+				name = "tail" // the engine's own bounded-mode default
+			}
+			drop, err := sim.DropByName(name)
+			if err != nil {
+				return nil, c.errf("buffer.drop", "%v", err)
+			}
+			out.bufCap, out.drop = b.Cap, drop
+		}
 	}
 
 	// Seeds.
@@ -189,6 +214,12 @@ func compile(c ctx, s *Spec) (*compiled, error) {
 		}
 		if cs.WindowCompliant && !seen[ObsWindow] {
 			return nil, c.errf("checks.window_compliant", `window_compliant needs the "window" observer`)
+		}
+		if cs.MaxDropped < -1 {
+			return nil, c.errf("checks.max_dropped", "max_dropped must be >= -1 (-1 = exactly zero drops), got %d", cs.MaxDropped)
+		}
+		if cs.MaxDropped != 0 && out.bufCap == 0 {
+			return nil, c.errf("checks.max_dropped", "max_dropped needs a bounded buffer block (an unbounded engine never drops)")
 		}
 	}
 	return out, nil

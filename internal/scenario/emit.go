@@ -33,7 +33,7 @@ type Emitted struct {
 
 // EmitIDs lists the scenario IDs Emit understands, in emission order.
 func EmitIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e7", "e8", "e13", "b2", "h1", "u1", "quickstart"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e7", "e8", "e13", "e14", "b2", "h1", "u1", "quickstart"}
 }
 
 // Emit reconstructs one hand-wired experiment (quick sizing), runs it,
@@ -59,6 +59,8 @@ func Emit(id string) Emitted {
 		em = emitE8()
 	case "e13":
 		em = emitE13()
+	case "e14":
+		em = emitE14()
 	case "b2":
 		em = emitB2()
 	case "h1":
@@ -422,6 +424,41 @@ func emitE13() Emitted {
 	return Emitted{Spec: spec, Hand: e}
 }
 
+// emitE14 serializes one bounded-buffer goodput cell (E14's drop-tail
+// point): periodic bursts of b = 6 packets into cap-3 drop-tail
+// buffers on a line. Only the first buffer ever overflows — downstream
+// edges receive at most one packet per step — so exactly b - cap = 3
+// packets drop per burst, the Miller–Patt-Shamir–Rosenbaum loss
+// pattern E14 sweeps across capacities.
+func emitE14() Emitted {
+	g := graph.Line(4)
+	const cap, burst, nBursts = 3, int64(6), int64(10)
+	bs := adversary.BurstStream{
+		Name: "burst", Start: 1, Period: 12, Burst: burst, Budget: nBursts * burst,
+		Route: []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2"), g.MustEdge("e3")},
+	}
+	e := sim.NewWithConfig(g, policy.FIFO{}, adversary.NewBurstScript(bs),
+		sim.Config{BufferCap: cap, Drop: sim.DropTail{}})
+	steps := int64(240)
+	e.Run(steps)
+	spec := &Spec{
+		Version:    Version,
+		Name:       "e14-bounded-droptail",
+		Experiment: "E14",
+		Comment:    "Bounded buffers (Miller, Patt-Shamir, Rosenbaum 2019): periodic 6-packet bursts into cap-3 drop-tail buffers on a line drop exactly burst - cap = 3 packets per burst, all at the first edge.",
+		Topology:   TopologySpec{Kind: "line", N: 4},
+		Policy:     PolicySpec{Default: "FIFO"},
+		Adversary: AdversarySpec{Kind: "burst", Bursts: []BurstSpec{{
+			Name: "burst", Start: 1, Period: 12, Burst: burst, Budget: nBursts * burst,
+			Route: []string{"e1", "e2", "e3"}}}},
+		Buffer: &BufferSpec{Cap: cap, Drop: "tail"},
+		Run:    RunSpec{Steps: steps, Mode: ModeStep},
+		Checks: &ChecksSpec{Conservation: true, MinInjected: 1, Drained: true,
+			MaxDropped: nBursts * (burst - cap)},
+	}
+	return Emitted{Spec: spec, Hand: e}
+}
+
 // emitB2 serializes the NTG starvation ladder (B2's r = 3/5 NTG cell)
 // declaratively: cross-traffic script plus the aged convoy as seeds.
 func emitB2() Emitted {
@@ -571,9 +608,9 @@ func emitQuickstart() Emitted {
 	steps := int64(600)
 	e.RunLeap(steps)
 	spec := &Spec{
-		Version: Version,
-		Name:    "quickstart-two-phase",
-		Comment: "Hand-authored tour of the spec format: a two-phase sequence (periodic bursts, then a paced stream) on ring(6), leap mode, recorder and latency observers.",
+		Version:  Version,
+		Name:     "quickstart-two-phase",
+		Comment:  "Hand-authored tour of the spec format: a two-phase sequence (periodic bursts, then a paced stream) on ring(6), leap mode, recorder and latency observers.",
 		Topology: TopologySpec{Kind: "ring", N: 6},
 		Policy:   PolicySpec{Default: "FIFO"},
 		Adversary: AdversarySpec{Kind: "sequence", Phases: []PhaseSpec{

@@ -40,6 +40,23 @@ func FuzzScenarioLoad(f *testing.F) {
   "checks": {"conservation": true, "max_backlog": 100}}`))
 	f.Add([]byte(`not json`))
 	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "ring", "n": -3}}`))
+	// Duplicate keys: encoding/json would silently keep the last value;
+	// the strict walker must reject.
+	f.Add([]byte(`{"version": 1, "version": 1, "name": "x"}`))
+	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "ring", "n": 4, "n": 6},
+  "policy": {"default": "FIFO"}, "adversary": {"kind": "none"}, "run": {"steps": 10}}`))
+	// Bounded buffers: a valid block and two rejects (bad policy name,
+	// drop without capacity).
+	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "line", "n": 3},
+  "policy": {"default": "FIFO"}, "adversary": {"kind": "none"},
+  "buffer": {"cap": 2, "drop": "ntg"},
+  "run": {"steps": 10}, "checks": {"conservation": true, "max_dropped": -1}}`))
+	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "line", "n": 3},
+  "policy": {"default": "FIFO"}, "adversary": {"kind": "none"},
+  "buffer": {"cap": 2, "drop": "red"}, "run": {"steps": 10}}`))
+	f.Add([]byte(`{"version": 1, "name": "x", "topology": {"kind": "line", "n": 3},
+  "policy": {"default": "FIFO"}, "adversary": {"kind": "none"},
+  "buffer": {"cap": 0, "drop": "tail"}, "run": {"steps": 10}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Parse("fuzz.json", data)

@@ -23,6 +23,10 @@ func (b *Built) WriteReport(w io.Writer, out Outcome) {
 	fmt.Fprintf(w, "  ran %d steps (%s): injected %d, absorbed %d, queued %d, max queue %d\n",
 		out.Snap.Now, out.Mode, out.Snap.Injected, out.Snap.Absorbed,
 		out.Snap.TotalQueued, out.Snap.MaxQueueLen)
+	if s.Buffer != nil && s.Buffer.Cap > 0 {
+		fmt.Fprintf(w, "  buffer cap %d (drop %s): dropped %d\n",
+			s.Buffer.Cap, b.Engine.Drop().Name(), out.Snap.Dropped)
+	}
 	fmt.Fprintf(w, "  max residence %d", out.MaxResidence)
 	if out.Leaps.Windows > 0 {
 		fmt.Fprintf(w, "; leaped %d windows / %d steps", out.Leaps.Windows, out.Leaps.Steps)

@@ -50,6 +50,9 @@ type Spec struct {
 	Topology   TopologySpec  `json:"topology"`
 	Policy     PolicySpec    `json:"policy"`
 	Adversary  AdversarySpec `json:"adversary"`
+	// Buffer bounds every edge buffer (sim.Config.BufferCap); absent or
+	// cap 0 means unbounded, the default.
+	Buffer *BufferSpec `json:"buffer,omitempty"`
 	// Seeds is the initial configuration, admitted in order at t = 0.
 	Seeds []SeedSpec `json:"seeds,omitempty"`
 	Run   RunSpec    `json:"run"`
@@ -80,6 +83,16 @@ type TopologySpec struct {
 	Len2   int    `json:"len2,omitempty"`
 	Stitch bool   `json:"stitch,omitempty"`
 	Seed   int64  `json:"seed,omitempty"`
+}
+
+// BufferSpec bounds every edge buffer to cap packets and names the
+// policy consulted at capacity: "tail" (reject the arrival), "head"
+// (evict the oldest), or "ntg" (evict a packet with the fewest
+// remaining hops, keeping the arrival unless it is the minimum).
+// Cap 0 is the unbounded default and takes no drop policy.
+type BufferSpec struct {
+	Cap  int    `json:"cap"`
+	Drop string `json:"drop,omitempty"`
 }
 
 // PolicySpec selects the scheduling policy: Default everywhere, with
@@ -229,7 +242,8 @@ type WindowSpec struct {
 
 // ChecksSpec lists post-run assertions. Zero-valued fields are not
 // checked. MaxBacklog needs the "recorder" observer (peak backlog);
-// WindowCompliant needs the "window" observer.
+// WindowCompliant needs the "window" observer; MaxDropped needs a
+// bounded buffer block (an unbounded engine never drops).
 type ChecksSpec struct {
 	Conservation    bool  `json:"conservation,omitempty"`
 	Drained         bool  `json:"drained,omitempty"`
@@ -237,6 +251,9 @@ type ChecksSpec struct {
 	MaxResidence    int64 `json:"max_residence,omitempty"`
 	MaxBacklog      int64 `json:"max_backlog,omitempty"`
 	WindowCompliant bool  `json:"window_compliant,omitempty"`
+	// MaxDropped bounds total drops; use -1 to assert zero drops
+	// exactly (0 means "not checked").
+	MaxDropped int64 `json:"max_dropped,omitempty"`
 }
 
 // Encode renders the spec in the canonical on-disk form: two-space

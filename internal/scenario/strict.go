@@ -146,6 +146,11 @@ func (w *walker) object(path string, typ reflect.Type) error {
 			elem = typ.Elem()
 		}
 	}
+	// Duplicate keys are rejected here because encoding/json silently
+	// resolves them last-wins at Unmarshal time — the first occurrence
+	// would vanish without a trace, and the at[path] line map would
+	// point semantic errors at the wrong occurrence.
+	var seen map[string]bool
 	for w.dec.More() {
 		tok, err := w.dec.Token()
 		if err != nil {
@@ -156,6 +161,14 @@ func (w *walker) object(path string, typ reflect.Type) error {
 		if path != "" {
 			childPath = path + "." + key
 		}
+		if seen[key] {
+			return &Error{File: w.file, Line: w.lines.line(w.dec.InputOffset()),
+				Path: childPath, Msg: fmt.Sprintf("duplicate field %q", key)}
+		}
+		if seen == nil {
+			seen = map[string]bool{}
+		}
+		seen[key] = true
 		var childType reflect.Type
 		switch {
 		case fields != nil:

@@ -84,6 +84,56 @@ func TestParseErrors(t *testing.T) {
 `, "topology.count", 6, `unknown field "count"`)
 	})
 
+	t.Run("duplicate top-level field", func(t *testing.T) {
+		// encoding/json would silently keep the second value (last
+		// wins); the strict walker must reject at the second occurrence.
+		specErr(t, `{
+  "version": 1,
+  "name": "a",
+  "name": "b",
+  "topology": {"kind": "ring", "n": 4},
+  "policy": {"default": "FIFO"},
+  "adversary": {"kind": "none"},
+  "run": {"steps": 10}
+}
+`, "name", 4, `duplicate field "name"`)
+	})
+
+	t.Run("duplicate nested field", func(t *testing.T) {
+		specErr(t, `{
+  "version": 1,
+  "name": "t",
+  "topology": {
+    "kind": "ring",
+    "n": 4,
+    "n": 6
+  },
+  "policy": {"default": "FIFO"},
+  "adversary": {"kind": "none"},
+  "run": {"steps": 10}
+}
+`, "topology.n", 7, `duplicate field "n"`)
+	})
+
+	t.Run("duplicate field inside array element", func(t *testing.T) {
+		specErr(t, strings.Replace(validBase, `"adversary": {"kind": "none"}`,
+			`"adversary": {"kind": "script", "streams": [
+    {"start": 1, "rate": "1/2", "rate": "1/3", "budget": 4, "route": ["e1"]}
+  ]}`, 1),
+			"adversary.streams[0].rate", 7, `duplicate field "rate"`)
+	})
+
+	t.Run("same key in sibling objects is fine", func(t *testing.T) {
+		// Duplicate detection is per object, not per path prefix.
+		if _, err := Parse("t.json", []byte(strings.Replace(validBase, `"adversary": {"kind": "none"}`,
+			`"adversary": {"kind": "script", "streams": [
+    {"start": 1, "rate": "1/2", "budget": 4, "route": ["e1"]},
+    {"start": 1, "rate": "1/2", "budget": 4, "route": ["e2"]}
+  ]}`, 1))); err != nil {
+			t.Fatalf("sibling objects with equal keys rejected: %v", err)
+		}
+	})
+
 	t.Run("type mismatch", func(t *testing.T) {
 		_, err := Parse("t.json", []byte(`{
   "version": 1,
@@ -179,6 +229,27 @@ func TestParseErrors(t *testing.T) {
   ]}`, 1),
 			"adversary.streams[0].route", 7, "not a simple path")
 	})
+
+	t.Run("negative buffer cap", func(t *testing.T) {
+		specErr(t, strings.Replace(validBase, `"adversary": {"kind": "none"}`,
+			`"adversary": {"kind": "none"},
+  "buffer": {"cap": -1}`, 1),
+			"buffer.cap", 7, "cap must be in [0,")
+	})
+
+	t.Run("unknown drop policy", func(t *testing.T) {
+		specErr(t, strings.Replace(validBase, `"adversary": {"kind": "none"}`,
+			`"adversary": {"kind": "none"},
+  "buffer": {"cap": 4, "drop": "red"}`, 1),
+			"buffer.drop", 7, `unknown drop policy "red"`)
+	})
+
+	t.Run("drop policy with unbounded cap", func(t *testing.T) {
+		specErr(t, strings.Replace(validBase, `"adversary": {"kind": "none"}`,
+			`"adversary": {"kind": "none"},
+  "buffer": {"cap": 0, "drop": "tail"}`, 1),
+			"buffer.drop", 7, "needs cap >= 1")
+	})
 }
 
 // TestAdversaryMessagesVerbatim holds spec rejections to the exact
@@ -265,5 +336,22 @@ func TestChecksCrossRequirements(t *testing.T) {
 	s.Run.Observers = []string{"recorder", "recorder"}
 	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate observer") {
 		t.Errorf("duplicate observer: got %v", err)
+	}
+	s = base()
+	s.Checks = &ChecksSpec{MaxDropped: 5}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "bounded buffer") {
+		t.Errorf("max_dropped without buffer block: got %v", err)
+	}
+	s = base()
+	s.Buffer = &BufferSpec{Cap: 2, Drop: "head"}
+	s.Checks = &ChecksSpec{MaxDropped: -2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), ">= -1") {
+		t.Errorf("max_dropped below -1: got %v", err)
+	}
+	s = base()
+	s.Buffer = &BufferSpec{Cap: 2, Drop: "ntg"}
+	s.Checks = &ChecksSpec{MaxDropped: -1}
+	if err := s.Validate(); err != nil {
+		t.Errorf("bounded buffer with max_dropped -1 rejected: %v", err)
 	}
 }

@@ -1,0 +1,137 @@
+// Fuzz harness for bounded buffers: a byte string drives an arbitrary
+// interleaving of steps, injections and reroutes against a bounded
+// engine on the keyed fast path (NTG heap) and its brute-force generic
+// reference, under every drop policy. The executions must agree
+// packet-by-packet while drops fire, and every buffer must obey the
+// bounded-mode invariants: occupancy never exceeds the cap, survivors
+// keep their enqueue order (the ring stays EnqueueSeq-sorted), drops
+// never exceed injections, and conservation holds with the dropped
+// term included.
+package sim
+
+import (
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/packet"
+	"aqt/internal/policy"
+)
+
+// checkBounded verifies the per-buffer bounded-mode invariants.
+func checkBounded(t *testing.T, e *Engine, cap int, step int) {
+	t.Helper()
+	g := e.Graph()
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		q := e.Queue(graph.EdgeID(eid))
+		if q.Len() > cap {
+			t.Fatalf("step %d edge %d: occupancy %d exceeds cap %d", step, eid, q.Len(), cap)
+		}
+		for i := 1; i < q.Len(); i++ {
+			if q.At(i-1).EnqueueSeq >= q.At(i).EnqueueSeq {
+				t.Fatalf("step %d edge %d: survivors out of enqueue order at %d (%d >= %d)",
+					step, eid, i, q.At(i-1).EnqueueSeq, q.At(i).EnqueueSeq)
+			}
+		}
+	}
+	if d, inj := e.Dropped(), e.Injected(); d > inj {
+		t.Fatalf("step %d: dropped %d > injected %d", step, d, inj)
+	}
+	var perEdge int64
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		perEdge += e.DropsAt(graph.EdgeID(eid))
+	}
+	if perEdge != e.Dropped() {
+		t.Fatalf("step %d: per-edge drop sum %d != total %d", step, perEdge, e.Dropped())
+	}
+}
+
+// FuzzDropPolicy is the bounded-buffer analogue of
+// FuzzKeyedHeapAgreement. Run with `go test -fuzz FuzzDropPolicy ./internal/sim`.
+func FuzzDropPolicy(f *testing.F) {
+	f.Add(uint8(1), uint8(0), []byte{1, 1, 1, 0, 2, 2, 0, 3, 0, 0})
+	f.Add(uint8(2), uint8(1), []byte{1, 1, 1, 1, 1, 0, 0, 0})
+	f.Add(uint8(0), uint8(2), []byte{0x45, 0x12, 0x00, 0xfe, 0x03, 0x27, 0x00, 0x81, 0x00})
+	f.Add(uint8(7), uint8(2), []byte{1, 9, 17, 25, 33, 0, 2, 6, 0, 3, 11, 0})
+	f.Fuzz(func(t *testing.T, capRaw, dropRaw uint8, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		cap := 1 + int(capRaw%4) // small caps so drops actually fire
+		var drop DropPolicy
+		switch dropRaw % 3 {
+		case 0:
+			drop = DropTail{}
+		case 1:
+			drop = DropHead{}
+		default:
+			drop = DropNTG{}
+		}
+		const nEdges = 6
+		g := graph.Line(nEdges)
+		cfg := Config{BufferCap: cap, Drop: drop}
+		fastFeed, slowFeed := &feeder{}, &feeder{}
+		fast := NewWithConfig(g, policy.NTG{}, fastFeed, cfg)
+		slow := NewWithConfig(g, slowWrap{policy.NTG{}}, slowFeed, cfg)
+		step := 0
+		check := func() {
+			fuzzCompare(t, fast, slow, step)
+			checkBounded(t, fast, cap, step)
+			if fast.Dropped() != slow.Dropped() {
+				t.Fatalf("step %d: dropped %d (fast) vs %d (slow)", step, fast.Dropped(), slow.Dropped())
+			}
+		}
+		for _, b := range ops {
+			arg := int(b >> 2)
+			switch b & 3 {
+			case 0: // step both engines
+				fast.Step()
+				slow.Step()
+				step++
+				check()
+			case 1: // queue an identical injection on both
+				start := arg % nEdges
+				end := start + (arg>>3)%(nEdges-start)
+				route := make([]graph.EdgeID, 0, end-start+1)
+				for eid := start; eid <= end; eid++ {
+					route = append(route, graph.EdgeID(eid))
+				}
+				fastFeed.pending = append(fastFeed.pending, packet.Injection{Route: route})
+				slowFeed.pending = append(slowFeed.pending, packet.Injection{Route: route})
+			case 2: // truncate the arg-th queued packet (between steps: legal)
+				fp, sp := nthQueued(fast, arg), nthQueued(slow, arg)
+				if fp == nil {
+					continue
+				}
+				fast.ReplaceRouteSuffix(fp, nil)
+				slow.ReplaceRouteSuffix(sp, nil)
+			case 3: // extend the arg-th queued packet down the line
+				fp, sp := nthQueued(fast, arg), nthQueued(slow, arg)
+				if fp == nil {
+					continue
+				}
+				cur := int(fp.CurrentEdge())
+				end := cur + 1 + (arg>>2)%(nEdges-cur)
+				if end > nEdges-1 {
+					end = nEdges - 1
+				}
+				suffix := make([]graph.EdgeID, 0, end-cur)
+				for eid := cur + 1; eid <= end; eid++ {
+					suffix = append(suffix, graph.EdgeID(eid))
+				}
+				fast.ReplaceRouteSuffix(fp, suffix)
+				slow.ReplaceRouteSuffix(sp, suffix)
+			}
+		}
+		// Drain to empty so absorption totals are final, then check
+		// conservation — injected = absorbed + queued + dropped — on
+		// both executions.
+		for i := 0; i < 64 && fast.TotalQueued() > 0; i++ {
+			fast.Step()
+			slow.Step()
+			step++
+			check()
+		}
+		fast.CheckConservation()
+		slow.CheckConservation()
+	})
+}

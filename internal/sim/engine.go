@@ -130,6 +130,17 @@ type Config struct {
 	// PolicyFor returns nil. The keyed fast path is disabled in this
 	// mode.
 	PolicyFor func(e graph.EdgeID) policy.Policy
+
+	// BufferCap bounds every edge buffer to at most BufferCap packets
+	// (the Miller–Patt-Shamir–Rosenbaum bounded-buffer model; see
+	// drop.go). 0, the default, is the paper's unbounded model.
+	// Negative values panic.
+	BufferCap int
+
+	// Drop selects what to discard when a packet arrives at a full
+	// buffer. Only consulted when BufferCap > 0; nil then defaults to
+	// DropTail.
+	Drop DropPolicy
 }
 
 // Engine executes one network under one policy and one adversary.
@@ -171,16 +182,19 @@ type Engine struct {
 
 	stats StepStats
 
-	injected  int64
-	absorbed  int64
-	inFlight  []*packet.Packet // scratch for the current step's senders
-	observers []Observer
-	injObs    []InjectionObserver
-	rerObs    []RerouteObserver
-	absObs    []AbsorptionObserver
-	sendObs   []SendObserver
-	markObs   []MarkerObserver
-	failObs   []FailureObserver
+	injected     int64
+	absorbed     int64
+	dropped      int64            // bounded mode only (drop.go); 0 forever when BufferCap == 0
+	dropsPerEdge []int64          // per-edge drop counters; nil in unbounded mode
+	inFlight     []*packet.Packet // scratch for the current step's senders
+	observers    []Observer
+	injObs       []InjectionObserver
+	rerObs       []RerouteObserver
+	absObs       []AbsorptionObserver
+	sendObs      []SendObserver
+	markObs      []MarkerObserver
+	failObs      []FailureObserver
+	dropObs      []DropObserver
 
 	maxResidence int64 // max completed residence in one buffer
 	started      bool  // true once Step has run; seeds then refused
@@ -231,6 +245,12 @@ func NewWithConfig(g *graph.Graph, pol policy.Policy, adv Adversary, cfg Config)
 	if adv == nil {
 		adv = NopAdversary{}
 	}
+	if cfg.BufferCap < 0 {
+		panic(fmt.Sprintf("sim: negative BufferCap %d", cfg.BufferCap))
+	}
+	if cfg.BufferCap > 0 && cfg.Drop == nil {
+		cfg.Drop = DropTail{}
+	}
 	e := &Engine{
 		g:       g,
 		pol:     pol,
@@ -243,6 +263,12 @@ func NewWithConfig(g *graph.Graph, pol policy.Policy, adv Adversary, cfg Config)
 	}
 	e.lenCnt[0] = int32(g.NumEdges())
 	e.leapObs = e.leapObsArr[:0]
+	if cfg.BufferCap > 0 {
+		// Allocated only in bounded mode, so unbounded construction
+		// stays alloc-identical to the pre-bounded engine (the per-probe
+		// alloc gate in cmd/bench counts it).
+		e.dropsPerEdge = make([]int64, g.NumEdges())
+	}
 	if cfg.PolicyFor != nil {
 		e.polFor = make([]policy.Policy, g.NumEdges())
 		for eid := 0; eid < g.NumEdges(); eid++ {
@@ -328,6 +354,10 @@ func (e *Engine) addEventInterfaces(ob any) bool {
 		e.failObs = append(e.failObs, fo)
 		matched = true
 	}
+	if do, ok := ob.(DropObserver); ok {
+		e.dropObs = append(e.dropObs, do)
+		matched = true
+	}
 	if lo, ok := ob.(LeapObserver); ok {
 		e.leapObs = append(e.leapObs, lo)
 		matched = true
@@ -371,7 +401,13 @@ func (e *Engine) SeedN(n int, inj packet.Injection) {
 	}
 }
 
-// admit creates a packet for inj at time t and enqueues it.
+// admit creates a packet for inj at time t and enqueues it. In bounded
+// mode the injection still counts as injected even when the first
+// buffer is full and the drop policy discards the arrival — the packet
+// then shows up in the drop accounting instead of a buffer, and the
+// conservation law injected = absorbed + queued + dropped balances.
+// Injection observers fire before the enqueue attempt (none reads
+// enqueue-time state), so an event trace shows inject before drop.
 func (e *Engine) admit(inj packet.Injection, t int64) *packet.Packet {
 	if !e.cfg.SkipRouteCheck && !e.g.IsSimplePath(inj.Route) {
 		panic(fmt.Sprintf("sim: injection route is not a simple path: %s",
@@ -389,10 +425,10 @@ func (e *Engine) admit(inj packet.Injection, t int64) *packet.Packet {
 	e.nextID++
 	e.injected++
 	e.stats.Injections++
-	e.enqueue(p, t)
 	for _, ob := range e.injObs {
 		ob.OnInject(t, p)
 	}
+	e.tryEnqueue(p, t)
 	return p
 }
 
@@ -556,7 +592,10 @@ func (e *Engine) stepCore() {
 	e.stats.Sends += int64(len(e.inFlight))
 
 	// Substep 2a: receive. inFlight is in upstream-edge-ID order, the
-	// documented arrival tie-break.
+	// documented arrival tie-break. Receives counts only admitted
+	// transit arrivals — a bounded buffer dropping the arrival records
+	// a drop instead, and in unbounded mode tryEnqueue never refuses,
+	// so the counter is unchanged from the pre-bounded engine.
 	for _, p := range e.inFlight {
 		p.Pos++
 		if p.Pos == len(p.Route) {
@@ -566,8 +605,9 @@ func (e *Engine) stepCore() {
 			}
 			continue
 		}
-		e.stats.Receives++
-		e.enqueue(p, e.now)
+		if e.tryEnqueue(p, e.now) {
+			e.stats.Receives++
+		}
 	}
 
 	// Substep 2b: inject.
@@ -722,7 +762,7 @@ func (e *Engine) QueueLen(eid graph.EdgeID) int { return e.buffers[eid].Len() }
 func (e *Engine) Queue(eid graph.EdgeID) *buffer.Buffer { return &e.buffers[eid] }
 
 // TotalQueued returns the number of packets currently in the network.
-func (e *Engine) TotalQueued() int64 { return e.injected - e.absorbed }
+func (e *Engine) TotalQueued() int64 { return e.injected - e.absorbed - e.dropped }
 
 // MaxQueued returns the largest current buffer occupancy in O(1),
 // maintained incrementally from per-edge length deltas. Stride-1 peak
@@ -803,7 +843,8 @@ func (e *Engine) EachQueueLen(fn func(l, edges int)) {
 	}
 }
 
-// CheckConservation panics unless injected == absorbed + buffered.
+// CheckConservation panics unless injected == absorbed + buffered +
+// dropped (the dropped term is identically 0 in unbounded mode).
 // Tests and long experiments call it periodically. FailureObservers are
 // notified before the panic, so a flight recorder captures the tail.
 func (e *Engine) CheckConservation() {
@@ -811,11 +852,23 @@ func (e *Engine) CheckConservation() {
 	for eid := range e.buffers {
 		buffered += int64(e.buffers[eid].Len())
 	}
-	if e.injected != e.absorbed+buffered {
-		msg := fmt.Sprintf("sim: conservation violated: injected %d != absorbed %d + buffered %d",
-			e.injected, e.absorbed, buffered)
+	if e.injected != e.absorbed+buffered+e.dropped {
+		msg := fmt.Sprintf("sim: conservation violated: injected %d != absorbed %d + buffered %d + dropped %d",
+			e.injected, e.absorbed, buffered, e.dropped)
 		e.NotifyFailure(msg)
 		panic(msg)
+	}
+	if e.dropsPerEdge != nil {
+		var perEdge int64
+		for _, d := range e.dropsPerEdge {
+			perEdge += d
+		}
+		if perEdge != e.dropped {
+			msg := fmt.Sprintf("sim: drop accounting violated: per-edge drops sum %d != dropped %d",
+				perEdge, e.dropped)
+			e.NotifyFailure(msg)
+			panic(msg)
+		}
 	}
 }
 
@@ -829,6 +882,12 @@ type StepStats struct {
 	Sends      int64
 	Receives   int64
 	Injections int64
+
+	// Drops counts packets discarded at full buffers (bounded mode
+	// only; identically 0 when Config.BufferCap == 0, keeping stepped,
+	// quiet and leaped Snapshots of unbounded engines byte-identical to
+	// the pre-bounded engine).
+	Drops int64
 
 	// HeapSkips counts stale keyed-heap entries (tombstones) discarded
 	// during selection; HeapCompactions counts the amortized rebuilds
@@ -853,10 +912,16 @@ func (s StepStats) NsPerStep() float64 {
 	return float64(s.Nanos) / float64(s.Steps)
 }
 
-// String renders the counters for terminal reports.
+// String renders the counters for terminal reports. The drops counter
+// appears only when nonzero, so unbounded-mode reports (and their
+// golden files) render exactly as before bounded buffers existed.
 func (s StepStats) String() string {
-	return fmt.Sprintf("steps %d, sends %d, receives %d, injections %d, heap skips %d, heap compactions %d, %.0f ns/step",
-		s.Steps, s.Sends, s.Receives, s.Injections, s.HeapSkips, s.HeapCompactions, s.NsPerStep())
+	drops := ""
+	if s.Drops > 0 {
+		drops = fmt.Sprintf(", drops %d", s.Drops)
+	}
+	return fmt.Sprintf("steps %d, sends %d, receives %d, injections %d%s, heap skips %d, heap compactions %d, %.0f ns/step",
+		s.Steps, s.Sends, s.Receives, s.Injections, drops, s.HeapSkips, s.HeapCompactions, s.NsPerStep())
 }
 
 // Stats returns the accumulated hot-path counters.
@@ -867,6 +932,7 @@ type Snapshot struct {
 	Now         int64
 	Injected    int64
 	Absorbed    int64
+	Dropped     int64 // bounded mode only; 0 when BufferCap == 0
 	TotalQueued int64
 	MaxQueueLen int
 	MaxQueueAt  graph.EdgeID
@@ -880,6 +946,7 @@ func (e *Engine) Snap() Snapshot {
 		Now:         e.now,
 		Injected:    e.injected,
 		Absorbed:    e.absorbed,
+		Dropped:     e.dropped,
 		TotalQueued: e.TotalQueued(),
 		MaxQueueLen: l,
 		MaxQueueAt:  eid,
@@ -887,8 +954,13 @@ func (e *Engine) Snap() Snapshot {
 	}
 }
 
-// String implements fmt.Stringer for quick diagnostics.
+// String implements fmt.Stringer for quick diagnostics. The dropped
+// count appears only when nonzero (unbounded-mode output unchanged).
 func (s Snapshot) String() string {
-	return fmt.Sprintf("t=%d queued=%d (max %d at edge %d) injected=%d absorbed=%d",
-		s.Now, s.TotalQueued, s.MaxQueueLen, s.MaxQueueAt, s.Injected, s.Absorbed)
+	drops := ""
+	if s.Dropped > 0 {
+		drops = fmt.Sprintf(" dropped=%d", s.Dropped)
+	}
+	return fmt.Sprintf("t=%d queued=%d (max %d at edge %d) injected=%d absorbed=%d%s",
+		s.Now, s.TotalQueued, s.MaxQueueLen, s.MaxQueueAt, s.Injected, s.Absorbed, drops)
 }

@@ -206,6 +206,13 @@ func (e *Engine) runLeap(n int64, pred func(e *Engine) bool) bool {
 // leapWindow returns the number of steps (0 = must step) the engine
 // may batch-advance right now, and the window's regime. maxK > 0 caps
 // the window (remaining run budget).
+//
+// Bounded buffers (Config.BufferCap > 0) need no extra guard here:
+// both regimes are enqueue-free — idle windows hold no packets, and
+// drain windows only move final-edge packets to absorption — and the
+// static horizon rules out injections, so no step inside a leapable
+// window can ever consult the drop policy. A window that could drop
+// is by construction not leapable and falls back to stepping.
 func (e *Engine) leapWindow(sa StaticAdversary, maxK int64) (int64, LeapKind) {
 	h := sa.StaticUntil()
 	if h <= e.now {

@@ -1,0 +1,43 @@
+package stability
+
+// MinStableCap locates the minimal stable buffer capacity B*(r) by
+// bisection: assuming probe is monotone in the capacity (unstable —
+// dropping, or diverging — below some B*, stable at and above it), it
+// returns the lowest capacity in [lo, hi] at which probe reports
+// Stable. It returns hi+1 when probe is stable nowhere on [lo, hi],
+// and lo when it is stable already at lo.
+//
+// Inconclusive probe results are treated as unstable: the search errs
+// towards reporting a larger capacity, never a spuriously small one —
+// the exact dual of ThresholdSearch's "Inconclusive is stable" rule,
+// because here the stable side sits at the TOP of the interval.
+//
+// That duality is also how the implementation works: the capacity axis
+// is reflected through m(i) = lo + hi - i, which flips "stable below,
+// diverging above" (the rate axis searchState was built for) into
+// "unstable below, stable above". The reflected walk reuses
+// searchState verbatim, so MinStableCap inherits the decision sequence
+// the threshold tests pin down.
+func MinStableCap(probe func(cap int64) Verdict, lo, hi int64) int64 {
+	if lo < 1 {
+		panic("stability: need lo >= 1 (capacity 0 is the unbounded engine)")
+	}
+	if hi < lo {
+		panic("stability: need lo <= hi")
+	}
+	mirror := func(i int64) int64 { return lo + hi - i }
+	st := searchState{loI: lo, hiI: hi}
+	for {
+		idx, done, result := st.need()
+		if done {
+			// result is the lowest mirrored index that is unstable,
+			// i.e. m(result) is the largest unstable capacity; B* is
+			// one above it. The sentinel results fall out for free:
+			// unstable everywhere resolves to result = lo, so
+			// m(lo)+1 = hi+1; stable everywhere resolves to
+			// result = hi+1, so m(hi+1)+1 = lo.
+			return mirror(result) + 1
+		}
+		st = st.advance(probe(mirror(idx)) != Stable)
+	}
+}

@@ -1,0 +1,88 @@
+package stability
+
+import "testing"
+
+// stepProbe is stable at and above bstar, unstable below.
+func stepProbe(bstar int64, calls *[]int64) func(int64) Verdict {
+	return func(cap int64) Verdict {
+		if calls != nil {
+			*calls = append(*calls, cap)
+		}
+		if cap >= bstar {
+			return Stable
+		}
+		return Diverging
+	}
+}
+
+func TestMinStableCapSynthetic(t *testing.T) {
+	for bstar := int64(1); bstar <= 64; bstar++ {
+		got := MinStableCap(stepProbe(bstar, nil), 1, 64)
+		if got != bstar {
+			t.Fatalf("B* = %d: search returned %d", bstar, got)
+		}
+	}
+}
+
+func TestMinStableCapBoundaries(t *testing.T) {
+	// Stable everywhere: returns lo.
+	if got := MinStableCap(func(int64) Verdict { return Stable }, 3, 40); got != 3 {
+		t.Errorf("stable everywhere: got %d, want 3", got)
+	}
+	// Stable nowhere: returns hi+1.
+	if got := MinStableCap(func(int64) Verdict { return Diverging }, 3, 40); got != 41 {
+		t.Errorf("stable nowhere: got %d, want 41", got)
+	}
+	// Single-point interval.
+	if got := MinStableCap(stepProbe(5, nil), 5, 5); got != 5 {
+		t.Errorf("single point stable: got %d, want 5", got)
+	}
+	if got := MinStableCap(stepProbe(6, nil), 5, 5); got != 6 {
+		t.Errorf("single point unstable: got %d, want 6", got)
+	}
+}
+
+func TestMinStableCapInconclusiveIsUnstable(t *testing.T) {
+	// Inconclusive below 10, stable at and above: the search must not
+	// report anything below 10.
+	probe := func(cap int64) Verdict {
+		if cap >= 10 {
+			return Stable
+		}
+		return Inconclusive
+	}
+	if got := MinStableCap(probe, 1, 32); got != 10 {
+		t.Errorf("got %d, want 10", got)
+	}
+}
+
+func TestMinStableCapProbeCountLogarithmic(t *testing.T) {
+	var calls []int64
+	MinStableCap(stepProbe(700, &calls), 1, 1024)
+	// Two endpoint probes plus ~log2(1024) bisections.
+	if len(calls) > 13 {
+		t.Errorf("probe called %d times (%v), want <= 13", len(calls), calls)
+	}
+	// Every probed capacity stays inside [lo, hi].
+	for _, c := range calls {
+		if c < 1 || c > 1024 {
+			t.Errorf("probed capacity %d outside [1, 1024]", c)
+		}
+	}
+}
+
+func TestMinStableCapPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"lo zero":  func() { MinStableCap(func(int64) Verdict { return Stable }, 0, 4) },
+		"hi below": func() { MinStableCap(func(int64) Verdict { return Stable }, 4, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
