@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke drop-smoke fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke drop-smoke checkpoint-smoke fuzz
 
 verify: test vet race
 
@@ -74,8 +74,22 @@ drop-smoke:
 	$(GO) run ./cmd/scenario run scenarios/e14.json
 	$(GO) run ./cmd/aqtsim -topo line -size 4 -adv burst -w 20 -rate 1/4 -cap 1 -drop head -steps 2000
 
+# Checkpoint/restore end-to-end smoke: the corpus-wide resume
+# differential tests, then a cmd/aqtsim split run (800 + 1200 steps
+# through a checkpoint file must match 2000 straight, modulo ns/step)
+# and a scenario run that both writes segment checkpoints and resumes
+# from the last one.
+checkpoint-smoke:
+	$(GO) test ./internal/scenario -run 'Checkpoint' -count 1
+	$(GO) test ./internal/sim -run 'Checkpoint' -count 1
+	$(GO) run ./cmd/aqtsim -topo ring -size 6 -steps 800 -seed 3 -checkpoint /tmp/aqt-ckpt-smoke.json
+	$(GO) run ./cmd/aqtsim -topo ring -size 6 -steps 1200 -seed 3 -restore /tmp/aqt-ckpt-smoke.json
+	$(GO) run ./cmd/scenario run -checkpoint-every 250 -checkpoint-dir /tmp/aqt-ckpt-smoke scenarios/quickstart.json
+	$(GO) run ./cmd/scenario run -restore /tmp/aqt-ckpt-smoke/quickstart-two-phase.ckpt.json scenarios/quickstart.json
+
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary
 	$(GO) test -fuzz FuzzKeyedHeapAgreement -fuzztime 30s ./internal/sim
 	$(GO) test -fuzz FuzzDropPolicy -fuzztime 30s ./internal/sim
 	$(GO) test -fuzz FuzzScenarioLoad -fuzztime 30s ./internal/scenario
+	$(GO) test -fuzz FuzzCheckpointLoad -fuzztime 30s ./internal/scenario

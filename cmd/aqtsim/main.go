@@ -72,6 +72,8 @@ func main() {
 	trace := flag.String("trace", "", "write a flight-recorder JSONL event trace to this file")
 	traceCap := flag.Int("tracecap", 4096, "flight-recorder ring capacity (latest events kept)")
 	metrics := flag.Bool("metrics", false, "print the metrics-registry summary")
+	checkpointFile := flag.String("checkpoint", "", "write an engine checkpoint (JSON) to this file after the run")
+	restoreFile := flag.String("restore", "", "restore engine state from this checkpoint file before running -steps more steps (observer series restart at the resume point)")
 	scenarioFile := flag.String("scenario", "", "run a declarative scenario file instead (overrides topology/policy/adversary flags)")
 	flag.Parse()
 
@@ -148,10 +150,34 @@ func main() {
 		meter = obs.NewMeter(nil)
 		eng.AddObserver(meter)
 	}
+	if *restoreFile != "" {
+		data, err := os.ReadFile(*restoreFile)
+		if err != nil {
+			die(err)
+		}
+		cp, err := sim.DecodeCheckpoint(data)
+		if err != nil {
+			die(err)
+		}
+		if err := eng.Restore(cp); err != nil {
+			die(err)
+		}
+		fmt.Printf("restored %s at step %d; running %d more steps\n", *restoreFile, cp.Now, *steps)
+	}
 	if *leap {
 		eng.RunLeap(*steps)
 	} else {
 		eng.Run(*steps)
+	}
+	if *checkpointFile != "" {
+		cp, err := eng.Checkpoint()
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*checkpointFile, cp.Encode(), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("checkpoint written to %s (step %d)\n", *checkpointFile, eng.Now())
 	}
 
 	snap := eng.Snap()

@@ -380,6 +380,67 @@ func specs() []benchSpec {
 		},
 	})
 
+	// The checkpoint pair: CheckpointSave is one full state capture plus
+	// JSON encode of a warmed Line(32) engine under random (w,r)
+	// traffic; CheckpointRestore is the full resume path — decode the
+	// document, build a fresh engine the same way, and apply the state.
+	// Neither is a hot path (they run once per segment, not per step),
+	// so the trajectory pins absolute cost, not allocs.
+	out = append(out, benchSpec{
+		name: "CheckpointSave/Line32",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				g := graph.Line(32)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				eng = sim.New(g, policy.FIFO{}, adv)
+				eng.Run(2048)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cp, err := eng.Checkpoint()
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = cp.Encode()
+				}
+			})
+			return res, eng.Stats()
+		},
+	})
+	out = append(out, benchSpec{
+		name: "CheckpointRestore/Line32",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			mk := func() (*sim.Engine, *graph.Graph) {
+				g := graph.Line(32)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				return sim.New(g, policy.FIFO{}, adv), g
+			}
+			src, _ := mk()
+			src.Run(2048)
+			cp, err := src.Checkpoint()
+			if err != nil {
+				panic(err)
+			}
+			data := cp.Encode()
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cp2, err := sim.DecodeCheckpoint(data)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng, _ = mk()
+					if err := eng.Restore(cp2); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return res, eng.Stats()
+		},
+	})
+
 	// BenchmarkSweepParallel: the PR4 parallel probe layer on a 7-point
 	// rate grid (depth 6, capped pumps) — sequential pool vs. GOMAXPROCS
 	// fan-out. One op is the whole sweep; engines are per-probe, so the

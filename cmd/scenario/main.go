@@ -81,6 +81,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	every := fs.Int64("checkpoint-every", 0, "write a checkpoint every N steps (0 = off)")
+	ckptDir := fs.String("checkpoint-dir", "checkpoints", "directory for -checkpoint-every files (<spec name>.ckpt.json, overwritten per segment)")
+	restore := fs.String("restore", "", "resume a single scenario from this checkpoint file (one input file only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,12 +92,49 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "scenario run: no files")
 		return 2
 	}
+	if *restore != "" && len(files) != 1 {
+		fmt.Fprintln(stderr, "scenario run: -restore takes exactly one scenario file")
+		return 2
+	}
+	if *every > 0 {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	results := stability.SweepGrid(files, func(path string) runResult {
 		b, err := scenario.BuildFile(path)
 		if err != nil {
 			return runResult{report: err.Error() + "\n", failed: true}
 		}
-		out := b.Run()
+		if *restore != "" {
+			data, err := os.ReadFile(*restore)
+			if err != nil {
+				return runResult{report: "scenario run: " + err.Error() + "\n", failed: true}
+			}
+			cp, err := scenario.DecodeCheckpoint(*restore, data)
+			if err != nil {
+				return runResult{report: err.Error() + "\n", failed: true}
+			}
+			if err := b.Restore(cp); err != nil {
+				return runResult{report: "scenario run: " + err.Error() + "\n", failed: true}
+			}
+		}
+		var out scenario.Outcome
+		switch {
+		case *every > 0:
+			dest := filepath.Join(*ckptDir, sanitizeName(b.Spec.Name)+".ckpt.json")
+			out, err = b.RunCheckpointed(b.Spec.Run.Mode, *every, func(cp *scenario.Checkpoint, step int64) error {
+				return os.WriteFile(dest, cp.Encode(), 0o644)
+			})
+			if err != nil {
+				return runResult{report: "scenario run: " + err.Error() + "\n", failed: true}
+			}
+		case *restore != "":
+			out = b.RunRemaining()
+		default:
+			out = b.Run()
+		}
 		var buf bytes.Buffer
 		b.WriteReport(&buf, out)
 		return runResult{report: buf.String(), failed: !out.OK()}
@@ -118,6 +158,23 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// sanitizeName maps a spec's display name to a safe file stem.
+func sanitizeName(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "scenario"
+	}
+	return string(out)
 }
 
 func cmdEmit(args []string, stdout, stderr io.Writer) int {

@@ -39,6 +39,8 @@ type RandomWR struct {
 
 	g     *graph.Graph
 	rng   *rand.Rand
+	src   *countingSource // the rng's source, counting draws for checkpoint/restore
+	seed  int64
 	bound int64 // floor(Rate·W): per-edge cap in any w-window
 
 	// Per-edge admission history: ring i holds the injection times of
@@ -69,13 +71,21 @@ func NewRandomWR(g *graph.Graph, w int64, rate rational.Rat, maxLen int, seed in
 	if maxLen < 1 {
 		panic(ErrMaxLen)
 	}
+	// The rng source is wrapped in a draw counter so the stream
+	// position can be checkpointed and replayed (see checkpoint.go).
+	// Every draw RandomWR makes is an Intn, which reaches the source
+	// through Int63 only, so hiding the underlying Source64 does not
+	// change the value stream.
+	src := &countingSource{src: rand.NewSource(seed)}
 	return &RandomWR{
 		W:        w,
 		Rate:     rate,
 		MaxLen:   maxLen,
 		Attempts: 4,
 		g:        g,
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      rand.New(src),
+		src:      src,
+		seed:     seed,
 		bound:    rate.FloorMulInt(w),
 		rings:    make([][]int64, g.NumEdges()),
 		head:     make([]int32, g.NumEdges()),

@@ -1,0 +1,238 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/rational"
+	"aqt/internal/sim"
+)
+
+// splitCompare runs build() for total steps directly and as a k-split
+// checkpoint/restore pair, requiring identical executions. It returns
+// the restored engine for further inspection.
+func splitCompare(t *testing.T, build func() *sim.Engine, total, k int64) *sim.Engine {
+	t.Helper()
+	direct := build()
+	direct.Run(total)
+	half := build()
+	half.Run(k)
+	cp, err := half.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint at k=%d: %v", k, err)
+	}
+	cp2, err := sim.DecodeCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatalf("decode at k=%d: %v", k, err)
+	}
+	resumed := build()
+	if err := resumed.Restore(cp2); err != nil {
+		t.Fatalf("restore at k=%d: %v", k, err)
+	}
+	resumed.Run(total - k)
+	if err := SameExecution(direct, resumed); err != nil {
+		t.Fatalf("k=%d: %v", k, err)
+	}
+	return resumed
+}
+
+// TestScriptCheckpointAcrossCompaction: stream "a" exhausts its budget
+// early and is compacted out of Script.streams; checkpoints taken both
+// before and after the compaction must resume exactly. The restore
+// path matches surviving streams by AddStream index and drops the
+// compacted ones.
+func TestScriptCheckpointAcrossCompaction(t *testing.T) {
+	g := graph.Line(6)
+	build := func() *sim.Engine {
+		return sim.New(g, policy.FIFO{}, NewScript(
+			Stream{Name: "a", Start: 1, Rate: rational.New(1, 1), Budget: 5,
+				Route: []graph.EdgeID{g.MustEdge("e1"), g.MustEdge("e2")}},
+			Stream{Name: "b", Start: 40, Rate: rational.New(1, 3), Budget: -1,
+				Route: []graph.EdgeID{g.MustEdge("e3"), g.MustEdge("e4")}},
+		))
+	}
+	for _, k := range []int64{1, 3, 20, 60} { // 3: "a" live; 20: compacted, "b" unstarted; 60: "b" live
+		splitCompare(t, build, 120, k)
+	}
+}
+
+// TestScriptCheckpointStateErrors covers the Script state machine's
+// rejection paths.
+func TestScriptCheckpointStateErrors(t *testing.T) {
+	g := graph.Line(3)
+	mk := func() *Script {
+		return NewScript(Stream{Name: "a", Start: 1, Rate: rational.New(1, 2), Budget: 10,
+			Route: []graph.EdgeID{g.MustEdge("e1")}})
+	}
+	src := mk()
+	st, err := src.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mk().RestoreState(nil, sim.AdversaryState{Kind: "burst", Data: st.Data}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	two := NewScript(
+		Stream{Name: "a", Start: 1, Rate: rational.New(1, 2), Budget: 10, Route: []graph.EdgeID{g.MustEdge("e1")}},
+		Stream{Name: "b", Start: 1, Rate: rational.New(1, 2), Budget: 10, Route: []graph.EdgeID{g.MustEdge("e2")}},
+	)
+	if err := two.RestoreState(nil, st); err == nil {
+		t.Error("stream-count (added) mismatch accepted")
+	}
+
+	pre := mk()
+	pre.SetPreStep(func(*sim.Engine) {})
+	if _, err := pre.CheckpointState(); err == nil {
+		t.Error("script with an opaque PreStep hook claimed to be checkpointable")
+	}
+}
+
+// TestReplayCheckpointCursor: a Replay adversary's cursor must survive
+// splits at every phase — before, during and after the recorded
+// schedule.
+func TestReplayCheckpointCursor(t *testing.T) {
+	g := graph.Line(5)
+	rec := []RecordedInjection{
+		{Step: 2, Route: rt(g, "e1", "e2")},
+		{Step: 2, Route: rt(g, "e2", "e3")},
+		{Step: 7, Route: rt(g, "e1")},
+		{Step: 31, Route: rt(g, "e3", "e4")},
+	}
+	build := func() *sim.Engine {
+		return sim.New(g, policy.LIS{}, NewReplay(rec))
+	}
+	for _, k := range []int64{1, 5, 30, 50} {
+		splitCompare(t, build, 80, k)
+	}
+}
+
+// TestSequenceCheckpointPhases: a two-phase Sequence (paced script,
+// then bursts) must resume from splits inside either phase and on the
+// boundary. Restore re-enters the current phase and overwrites its
+// leap horizon rather than re-running history.
+func TestSequenceCheckpointPhases(t *testing.T) {
+	g := graph.Line(5)
+	build := func() *sim.Engine {
+		p1End, p2End := int64(30), int64(90)
+		seq := NewSequence(
+			Phase{
+				Name: "pump",
+				Enter: func(*sim.Engine) sim.Adversary {
+					return NewScript(Stream{Name: "p", Start: 1, Rate: rational.New(2, 3), Budget: -1,
+						Route: rt(g, "e1", "e2")})
+				},
+				Done:  func(e *sim.Engine) bool { return e.Now() >= p1End },
+				Until: &p1End,
+			},
+			Phase{
+				Name: "burst",
+				Enter: func(*sim.Engine) sim.Adversary {
+					return NewBurstScript(BurstStream{Name: "q", Start: 1, Period: 8, Burst: 3, Budget: -1,
+						Route: rt(g, "e3", "e4")})
+				},
+				Done:  func(e *sim.Engine) bool { return e.Now() >= p2End },
+				Until: &p2End,
+			},
+		)
+		return sim.New(g, policy.FIFO{}, seq)
+	}
+	for _, k := range []int64{1, 15, 30, 31, 70, 100} {
+		splitCompare(t, build, 120, k)
+	}
+}
+
+// TestRandomWRCheckpointDrawReplay: the RandomWR RNG stream position
+// is restored by replaying the counted draws from the seed; splits at
+// many points must leave the value stream — and hence the injection
+// schedule — untouched.
+func TestRandomWRCheckpointDrawReplay(t *testing.T) {
+	build := func() *sim.Engine {
+		g := graph.Ring(7)
+		return sim.New(g, policy.NTG{}, NewRandomWR(g, 24, rational.New(1, 3), 3, 42))
+	}
+	for _, k := range []int64{1, 17, 100, 399} {
+		splitCompare(t, build, 400, k)
+	}
+}
+
+// TestRandomWRCheckpointSeedMismatch: state from one seed must refuse
+// to restore into an adversary constructed with another.
+func TestRandomWRCheckpointSeedMismatch(t *testing.T) {
+	g := graph.Ring(4)
+	a := NewRandomWR(g, 10, rational.New(1, 2), 2, 7)
+	e := sim.New(g, policy.FIFO{}, a)
+	e.Run(20)
+	st, err := a.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewRandomWR(g, 10, rational.New(1, 2), 2, 8)
+	if err := other.RestoreState(nil, st); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+}
+
+// TestWindowUsageRestoreRejects: hostile usage states must be rejected
+// with errors, never panics.
+func TestWindowUsageRestoreRejects(t *testing.T) {
+	for i, us := range []UsageState{
+		{{Edge: 0, Times: nil}}, // empty ring
+		{{Edge: 2, Times: []int64{1}}, {Edge: 1, Times: []int64{1}}}, // not increasing
+		{{Edge: 0, Times: []int64{5, 3}}},                            // unsorted times
+	} {
+		wv := NewWindowValidator(10, rational.New(1, 2))
+		if err := wv.RestoreUsage(us); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestAdversaryKindMismatch: every adversary kind refuses a blob
+// stamped with another kind.
+func TestAdversaryKindMismatch(t *testing.T) {
+	g := graph.Line(3)
+	bad := sim.AdversaryState{Kind: "nope", Data: []byte(`{}`)}
+	targets := []sim.CheckpointableAdversary{
+		NewScript(Stream{Name: "a", Start: 1, Rate: rational.New(1, 2), Budget: 1, Route: rt(g, "e1")}),
+		NewBurstScript(BurstStream{Name: "b", Start: 1, Period: 2, Burst: 1, Budget: 1, Route: rt(g, "e1")}),
+		NewReplay(nil),
+		NewSequence(),
+		NewRandomWR(g, 4, rational.New(1, 2), 1, 1),
+	}
+	for _, a := range targets {
+		if err := a.RestoreState(nil, bad); err == nil {
+			t.Errorf("%T accepted kind %q", a, bad.Kind)
+		}
+	}
+}
+
+// TestPacerRestore: Pacer.Restore must reproduce the exact emission
+// schedule from any (ticks, sent) position of a reference pacer.
+func TestPacerRestore(t *testing.T) {
+	for _, rate := range []rational.Rat{rational.New(1, 3), rational.New(2, 5), rational.New(7, 4)} {
+		rate := rate
+		t.Run(fmt.Sprint(rate), func(t *testing.T) {
+			ref := rational.NewPacer(rate)
+			var refOut []int64
+			for i := 0; i < 100; i++ {
+				refOut = append(refOut, ref.Tick())
+			}
+			for _, k := range []int{0, 1, 37, 99} {
+				probe := rational.NewPacer(rate)
+				for i := 0; i < k; i++ {
+					probe.Tick()
+				}
+				fork := rational.NewPacer(rate)
+				fork.Restore(probe.Ticks(), probe.Emitted())
+				for i := k; i < 100; i++ {
+					if got := fork.Tick(); got != refOut[i] {
+						t.Fatalf("k=%d tick %d: %d, want %d", k, i, got, refOut[i])
+					}
+				}
+			}
+		})
+	}
+}

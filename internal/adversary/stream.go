@@ -39,6 +39,7 @@ type runningStream struct {
 	Stream
 	pacer *rational.CappedPacer
 	count int64
+	idx   int // AddStream order, stable across compaction (checkpoint key)
 }
 
 func (rs *runningStream) done() bool { return rs.pacer.Done() }
@@ -48,6 +49,7 @@ func (rs *runningStream) done() bool { return rs.pacer.Done() }
 // value is an empty script that injects nothing.
 type Script struct {
 	streams []*runningStream
+	added   int                 // total AddStream calls (checkpoint stream keys)
 	pre     func(e *sim.Engine) // optional PreStep hook (rerouting)
 }
 
@@ -72,7 +74,9 @@ func (s *Script) AddStream(st Stream) {
 	s.streams = append(s.streams, &runningStream{
 		Stream: st,
 		pacer:  rational.NewCappedPacer(st.Rate, budget),
+		idx:    s.added,
 	})
+	s.added++
 }
 
 // SetPreStep installs a PreStep hook (used for Lemma 3.3 rerouting).

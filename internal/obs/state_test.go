@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRegistryStateRoundTrip: a registry's full contents — including
+// zero-valued metrics, whose registration is itself observable state —
+// must survive State → RestoreState, and handles fetched before the
+// restore must alias the restored values.
+func TestRegistryStateRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("b.count").Add(7)
+	src.Counter("a.zero") // registered, never incremented
+	h := src.Histogram("lat")
+	for _, v := range []int64{0, 1, 1, 9, 300} {
+		h.Observe(v)
+	}
+	src.Histogram("empty")
+	st := src.State()
+
+	dst := NewRegistry()
+	pre := dst.Counter("b.count") // handle fetched before restore
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if pre.Value() != 7 {
+		t.Errorf("pre-fetched handle reads %d, want 7", pre.Value())
+	}
+	if !reflect.DeepEqual(src.Snapshot(), dst.Snapshot()) {
+		t.Errorf("snapshots differ:\nsrc: %+v\ndst: %+v", src.Snapshot(), dst.Snapshot())
+	}
+	if !reflect.DeepEqual(st, dst.State()) {
+		t.Error("State is not a fixed point across restore")
+	}
+}
+
+// TestRegistryStateRejects: malformed registry states (reachable from
+// fuzzed checkpoint documents) must be rejected with errors.
+func TestRegistryStateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		st   RegistryState
+	}{
+		{"unsorted counters", RegistryState{Counters: []CounterSnapshot{{Name: "b"}, {Name: "a"}}}},
+		{"empty name", RegistryState{Counters: []CounterSnapshot{{Name: ""}}}},
+		{"bucket sum mismatch", RegistryState{Histograms: []HistogramState{
+			{Name: "h", Count: 5, Buckets: []int64{1, 1}}}}},
+		{"negative bucket", RegistryState{Histograms: []HistogramState{
+			{Name: "h", Count: 0, Buckets: []int64{2, -2, 1}}}}},
+		{"trailing zero bucket", RegistryState{Histograms: []HistogramState{
+			{Name: "h", Count: 1, Buckets: []int64{1, 0}}}}},
+		{"too many buckets", RegistryState{Histograms: []HistogramState{
+			{Name: "h", Count: 0, Buckets: make([]int64, 100)}}}},
+	}
+	for _, tc := range cases {
+		if err := NewRegistry().RestoreState(tc.st); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// TestFlightStateRoundTrip: the ring must rebuild at identical indices
+// (same retained events, same total) both before and after wraparound.
+func TestFlightStateRoundTrip(t *testing.T) {
+	for _, n := range []int{5, 16, 40} { // below, at, past a 16-ring
+		src := NewFlightRecorder(16)
+		for i := 0; i < n; i++ {
+			src.RecordFailure(int64(i), "x")
+		}
+		st := src.CheckpointState()
+		dst := NewFlightRecorder(16)
+		if err := dst.RestoreState(st); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(src.Events(), dst.Events()) {
+			t.Fatalf("n=%d: events differ", n)
+		}
+		// Subsequent records must land where the uninterrupted recorder
+		// would put them.
+		src.RecordFailure(999, "y")
+		dst.RecordFailure(999, "y")
+		if !reflect.DeepEqual(src.Events(), dst.Events()) {
+			t.Fatalf("n=%d: post-restore events diverge", n)
+		}
+	}
+}
+
+// TestFlightStateRejects: retained-event counts inconsistent with
+// (total, cap) must be refused, as must hostile capacities.
+func TestFlightStateRejects(t *testing.T) {
+	cases := []FlightState{
+		{Cap: 8, Total: 0},                               // cap below min
+		{Cap: 1 << 25, Total: 0},                         // cap above bound
+		{Cap: 16, Total: 3, Events: make([]Event, 2)},    // too few retained
+		{Cap: 16, Total: 3, Events: make([]Event, 4)},    // too many retained
+		{Cap: 16, Total: 100, Events: make([]Event, 15)}, // wrapped ring must be full
+	}
+	for i, st := range cases {
+		if err := NewFlightRecorder(16).RestoreState(st); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestMeterStateFinishLatch: the Finish latch must survive the round
+// trip so a restored meter does not double-finalize derived metrics.
+func TestMeterStateFinishLatch(t *testing.T) {
+	src := NewMeter(nil)
+	src.Registry().Counter("sim.steps").Add(4)
+	src.finished = true
+	st := src.CheckpointState()
+	dst := NewMeter(nil)
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.finished {
+		t.Error("finish latch lost")
+	}
+	if !reflect.DeepEqual(src.Registry().Snapshot(), dst.Registry().Snapshot()) {
+		t.Error("registries differ")
+	}
+}

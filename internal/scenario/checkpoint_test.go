@@ -1,0 +1,283 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"aqt/internal/adversary"
+	"aqt/internal/graph"
+	"aqt/internal/policy"
+	"aqt/internal/sim"
+)
+
+// buildFresh builds an independent instance of base (checks kept; they
+// are never evaluated here — the comparison is about execution state).
+func buildFresh(t *testing.T, base *Spec) *Built {
+	t.Helper()
+	s := *base
+	b, err := Build(&s)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return b
+}
+
+// runSegment advances b.Engine by n steps under mode.
+func runSegment(t *testing.T, b *Built, mode string, n int64) {
+	t.Helper()
+	if n == 0 {
+		return
+	}
+	switch mode {
+	case ModeStep:
+		b.Engine.Run(n)
+	case ModeQuiet:
+		b.Engine.RunQuiet(n)
+	case ModeLeap:
+		b.Engine.RunLeap(n)
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+}
+
+// requireSameObservers compares every observer's externally observable
+// state between the reference run and the resumed run.
+func requireSameObservers(t *testing.T, label string, ref, got *Built) {
+	t.Helper()
+	if ref.Recorder != nil {
+		rs, gs := ref.Recorder.CheckpointState(), got.Recorder.CheckpointState()
+		if !reflect.DeepEqual(rs, gs) {
+			t.Errorf("%s: recorder state differs:\nref: %+v\ngot: %+v", label, rs, gs)
+		}
+	}
+	if ref.Latency != nil {
+		if !reflect.DeepEqual(ref.Latency.CheckpointState(), got.Latency.CheckpointState()) {
+			t.Errorf("%s: latency series differs (ref %d samples, got %d)",
+				label, ref.Latency.Count(), got.Latency.Count())
+		}
+	}
+	if ref.Window != nil {
+		if !reflect.DeepEqual(ref.Window.UsageState(), got.Window.UsageState()) {
+			t.Errorf("%s: window usage differs", label)
+		}
+		re, ge := ref.Window.Check(), got.Window.Check()
+		if (re == nil) != (ge == nil) || (re != nil && re.Error() != ge.Error()) {
+			t.Errorf("%s: window verdict differs: ref=%v got=%v", label, re, ge)
+		}
+	}
+	if ref.Meter != nil {
+		rs, gs := ref.Meter.Registry().State(), got.Meter.Registry().State()
+		if !reflect.DeepEqual(rs, gs) {
+			t.Errorf("%s: meter registry differs:\nref: %+v\ngot: %+v", label, rs, gs)
+		}
+	}
+}
+
+// checkpointSplit runs base for k steps, checkpoints through the full
+// wire format (Encode -> DecodeCheckpoint -> Encode fixed point), then
+// restores onto a fresh build and runs the remaining total-k steps.
+func checkpointSplit(t *testing.T, base *Spec, mode string, k, total int64) *Built {
+	t.Helper()
+	a := buildFresh(t, base)
+	runSegment(t, a, mode, k)
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint at k=%d: %v", k, err)
+	}
+	data := cp.Encode()
+	cp2, err := DecodeCheckpoint("mem.ckpt", data)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint at k=%d: %v", k, err)
+	}
+	if data2 := cp2.Encode(); !bytes.Equal(data, data2) {
+		t.Fatalf("k=%d: Encode -> Decode -> Encode is not a fixed point", k)
+	}
+	b := buildFresh(t, base)
+	if err := b.Restore(cp2); err != nil {
+		t.Fatalf("Restore at k=%d: %v", k, err)
+	}
+	runSegment(t, b, mode, total-k)
+	return b
+}
+
+// TestCheckpointResumeCorpus is the resume-equivalence acceptance gate:
+// for every checked-in scenario, every run mode, and a fan of split
+// points k (first step, last step, and a spec-seeded random interior
+// point), run(T) and run(k); save; load; run(T-k) must agree on the
+// full equivalence contract — snapshot modulo Nanos, per-edge queues
+// packet by packet, max residence — and on every configured observer's
+// state. Leap-window statistics are deliberately NOT compared: a
+// checkpoint boundary legitimately splits a leap window in two.
+func TestCheckpointResumeCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenario corpus (run `go run ./cmd/scenario emit`): %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			base := parseSpecFile(t, path)
+			total := base.Run.Steps
+			for _, mode := range []string{ModeStep, ModeQuiet, ModeLeap} {
+				ref := buildFresh(t, base)
+				runSegment(t, ref, mode, total)
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s/%s", base.Name, mode)
+				rng := rand.New(rand.NewSource(int64(h.Sum64())))
+				ks := []int64{1, total - 1, 1 + rng.Int63n(total)}
+				for _, k := range ks {
+					label := fmt.Sprintf("%s/k=%d", mode, k)
+					got := checkpointSplit(t, base, mode, k, total)
+					if err := adversary.SameExecution(ref.Engine, got.Engine); err != nil {
+						t.Errorf("%s: resumed run diverges: %v", label, err)
+					}
+					requireSameObservers(t, label, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointedRunMatchesRunMode drives the segmented runner the
+// CLI uses (-checkpoint-every) across the corpus and requires the same
+// Outcome as a straight RunMode, modulo leap-window accounting.
+func TestCheckpointedRunMatchesRunMode(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenario corpus: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			base := parseSpecFile(t, path)
+			for _, mode := range []string{ModeStep, ModeLeap} {
+				ref := buildFresh(t, base)
+				want := ref.RunMode(mode)
+				seg := buildFresh(t, base)
+				saves := 0
+				got, err := seg.RunCheckpointed(mode, base.Run.Steps/3+1, func(cp *Checkpoint, step int64) error {
+					saves++
+					if cp.Scenario != base.Name {
+						return fmt.Errorf("checkpoint names %q", cp.Scenario)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s: RunCheckpointed: %v", mode, err)
+				}
+				if saves == 0 {
+					t.Fatalf("%s: save callback never invoked", mode)
+				}
+				got.Leaps, want.Leaps = sim.LeapStats{}, sim.LeapStats{}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s: outcome differs:\nwant: %+v\ngot:  %+v", mode, want, got)
+				}
+				if err := adversary.SameExecution(ref.Engine, seg.Engine); err != nil {
+					t.Errorf("%s: segmented run diverges: %v", mode, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRandomAdversaryDifferential mirrors the leap engine's
+// randomized harness (sim.TestLeapRandomDifferential): random line and
+// ring topologies, random burst scripts, all three policy families —
+// but here the differential is a checkpoint/restore split at a random
+// interior step, through the engine-level wire format, with the
+// resumed half running under a randomly chosen mode. Runs under -race
+// via `make race`.
+func TestCheckpointRandomAdversaryDifferential(t *testing.T) {
+	pols := []policy.Policy{policy.FIFO{}, policy.LIS{}, policy.NTG{}}
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			var g *graph.Graph
+			n := 4 + rng.Intn(12)
+			if rng.Intn(2) == 0 {
+				g = graph.Line(n)
+			} else {
+				g = graph.Ring(n)
+			}
+			streams := make([]adversary.BurstStream, 1+rng.Intn(3))
+			for i := range streams {
+				first := rng.Intn(g.NumEdges())
+				routeLen := 1 + rng.Intn(3)
+				route := []graph.EdgeID{graph.EdgeID(first)}
+				for len(route) < routeLen {
+					outs := g.Out(g.Edge(route[len(route)-1]).To)
+					if len(outs) == 0 {
+						break
+					}
+					route = append(route, outs[rng.Intn(len(outs))])
+				}
+				streams[i] = adversary.BurstStream{
+					Name:   fmt.Sprintf("s%d", i),
+					Start:  1 + int64(rng.Intn(200)),
+					Period: 16 + int64(rng.Intn(240)),
+					Burst:  1 + int64(rng.Intn(40)),
+					Budget: []int64{-1, 20 + int64(rng.Intn(200))}[rng.Intn(2)],
+					Route:  route,
+				}
+			}
+			pol := pols[rng.Intn(len(pols))]
+			steps := int64(500 + rng.Intn(1500))
+			k := 1 + rng.Int63n(steps-1)
+			mode := []string{ModeStep, ModeLeap}[rng.Intn(2)]
+
+			direct := sim.New(g, pol, adversary.NewBurstScript(streams...))
+			direct.Run(steps)
+
+			half := sim.New(g, pol, adversary.NewBurstScript(streams...))
+			half.Run(k)
+			cp, err := half.Checkpoint()
+			if err != nil {
+				t.Fatalf("engine checkpoint at k=%d: %v", k, err)
+			}
+			data := cp.Encode()
+			cp2, err := sim.DecodeCheckpoint(data)
+			if err != nil {
+				t.Fatalf("engine decode at k=%d: %v", k, err)
+			}
+			if data2 := cp2.Encode(); !bytes.Equal(data, data2) {
+				t.Fatalf("k=%d: engine Encode -> Decode -> Encode is not a fixed point", k)
+			}
+			resumed := sim.New(g, pol, adversary.NewBurstScript(streams...))
+			if err := resumed.Restore(cp2); err != nil {
+				t.Fatalf("engine restore at k=%d: %v", k, err)
+			}
+			if mode == ModeLeap {
+				resumed.RunLeap(steps - k)
+			} else {
+				resumed.Run(steps - k)
+			}
+			if err := adversary.SameExecution(direct, resumed); err != nil {
+				t.Errorf("seed=%d k=%d mode=%s: %v", seed, k, mode, err)
+			}
+		})
+	}
+}
+
+// parseSpecFile loads and parses one corpus spec.
+func parseSpecFile(t *testing.T, path string) *Spec {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(filepath.Base(path), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

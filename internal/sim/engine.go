@@ -62,6 +62,19 @@ func (NopAdversary) PreStep(*Engine) {}
 // Inject implements Adversary.
 func (NopAdversary) Inject(*Engine) []packet.Injection { return nil }
 
+// CheckpointState implements CheckpointableAdversary (no state).
+func (NopAdversary) CheckpointState() (AdversaryState, error) {
+	return AdversaryState{Kind: "nop"}, nil
+}
+
+// RestoreState implements CheckpointableAdversary.
+func (NopAdversary) RestoreState(_ *Engine, st AdversaryState) error {
+	if st.Kind != "nop" {
+		return cperrf("adversary.kind", "adversary state kind %q, want \"nop\"", st.Kind)
+	}
+	return nil
+}
+
 // InjectFunc adapts a function to the Adversary interface (no
 // rerouting).
 type InjectFunc func(e *Engine) []packet.Injection

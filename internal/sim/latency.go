@@ -78,6 +78,18 @@ func (l *LatencyObserver) Stats() LatencyStats {
 	}
 }
 
+// CheckpointState extracts the observed per-packet latencies (copied,
+// in absorption order).
+func (l *LatencyObserver) CheckpointState() []int64 {
+	return append([]int64(nil), l.lats...)
+}
+
+// RestoreState overwrites the observer with a previously extracted
+// latency series.
+func (l *LatencyObserver) RestoreState(lats []int64) {
+	l.lats = append(l.lats[:0], lats...)
+}
+
 // String renders the stats.
 func (s LatencyStats) String() string {
 	if s.Count == 0 {

@@ -336,3 +336,51 @@ func (t *Tracer) Events() []Event { return t.events }
 // Dropped returns the number of events discarded after Cap was
 // reached (keep-oldest semantics; 0 with an unbounded Tracer).
 func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// RecorderState is the serializable dynamic state of a Recorder:
+// configuration (stride, bound), the retained sample series, the
+// current downsampling factor and the exact running peaks. Restoring
+// it onto a fresh Recorder reproduces the uninterrupted series —
+// including future stride-doubling points, which depend on the
+// retained sample count.
+type RecorderState struct {
+	Stride     int64        `json:"stride"`
+	MaxSamples int          `json:"max_samples,omitempty"`
+	Factor     int64        `json:"factor,omitempty"`
+	PeakTotal  int64        `json:"peak_total,omitempty"`
+	PeakMax    int          `json:"peak_max,omitempty"`
+	PeakEdge   graph.EdgeID `json:"peak_edge"`
+	Samples    []Sample     `json:"samples,omitempty"`
+}
+
+// CheckpointState extracts the recorder's state (samples are copied).
+func (r *Recorder) CheckpointState() RecorderState {
+	return RecorderState{
+		Stride:     r.Stride,
+		MaxSamples: r.MaxSamples,
+		Factor:     r.factor,
+		PeakTotal:  r.peakTot,
+		PeakMax:    r.peakMax,
+		PeakEdge:   r.peakEdge,
+		Samples:    append([]Sample(nil), r.samples...),
+	}
+}
+
+// RestoreState overwrites the recorder with a previously extracted
+// state. Malformed state is rejected with an error, never a panic.
+func (r *Recorder) RestoreState(st RecorderState) error {
+	if st.Stride < 1 {
+		return fmt.Errorf("recorder state: stride %d < 1", st.Stride)
+	}
+	if st.MaxSamples < 0 || st.Factor < 0 || st.PeakTotal < 0 || st.PeakMax < 0 {
+		return fmt.Errorf("recorder state: negative field in %+v", st)
+	}
+	r.Stride = st.Stride
+	r.MaxSamples = st.MaxSamples
+	r.factor = st.Factor
+	r.peakTot = st.PeakTotal
+	r.peakMax = st.PeakMax
+	r.peakEdge = st.PeakEdge
+	r.samples = append(r.samples[:0], st.Samples...)
+	return nil
+}
