@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke drop-smoke checkpoint-smoke fuzz
+.PHONY: verify test vet race bench bench-diff sweep-smoke trace-smoke leap-smoke scenario-smoke drop-smoke checkpoint-smoke telemetry-smoke fuzz
 
 verify: test vet race
 
@@ -86,6 +86,32 @@ checkpoint-smoke:
 	$(GO) run ./cmd/aqtsim -topo ring -size 6 -steps 1200 -seed 3 -restore /tmp/aqt-ckpt-smoke.json
 	$(GO) run ./cmd/scenario run -checkpoint-every 250 -checkpoint-dir /tmp/aqt-ckpt-smoke scenarios/quickstart.json
 	$(GO) run ./cmd/scenario run -restore /tmp/aqt-ckpt-smoke/quickstart-two-phase.ckpt.json scenarios/quickstart.json
+
+# Live-telemetry end-to-end smoke: serve scenario E13 over HTTP with
+# -serve-hold, poll /healthz until the server is up, scrape /metrics,
+# /series and /trace off the live server and check each carries its
+# expected content, then kill the server. The aqtsim run at the end
+# exercises the sampler + span tracer through -trace, whose dump is
+# self-validated against the JSONL schema (exit nonzero on a break).
+TELEMETRY_ADDR ?= 127.0.0.1:9464
+telemetry-smoke:
+	$(GO) build -o /tmp/aqt-scenario-smoke ./cmd/scenario
+	/tmp/aqt-scenario-smoke run -serve $(TELEMETRY_ADDR) -serve-hold -sample-every 64 scenarios/e13.json & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=; for i in $$(seq 1 100); do \
+		curl -fsS http://$(TELEMETRY_ADDR)/healthz >/dev/null 2>&1 && ok=1 && break; sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "telemetry-smoke: server never came up on $(TELEMETRY_ADDR)"; exit 1; }; \
+	ok=; for i in $$(seq 1 300); do \
+		curl -fsS http://$(TELEMETRY_ADDR)/series 2>/dev/null | grep -q '"kind":"sample"' && ok=1 && break; sleep 0.1; \
+	done; \
+	test -n "$$ok" || { echo "telemetry-smoke: /series never published a sample"; exit 1; }; \
+	curl -fsS http://$(TELEMETRY_ADDR)/healthz | grep -q '^ok' || { echo "telemetry-smoke: bad /healthz"; exit 1; }; \
+	curl -fsS http://$(TELEMETRY_ADDR)/metrics | grep -q '^# TYPE aqt_' || { echo "telemetry-smoke: /metrics has no aqt_ families"; exit 1; }; \
+	curl -fsS http://$(TELEMETRY_ADDR)/trace >/dev/null || { echo "telemetry-smoke: /trace unreachable"; exit 1; }; \
+	echo "telemetry-smoke: live endpoints ok"
+	$(GO) run ./cmd/aqtsim -topo line -size 8 -adv burst -w 64 -rate 1/4 -steps 4000 -sample-every 16 -spans 1 -trace /tmp/aqt-telemetry-smoke.jsonl
 
 fuzz:
 	$(GO) test -fuzz FuzzRandomWRWindow -fuzztime 30s ./internal/adversary

@@ -72,6 +72,10 @@ func main() {
 	trace := flag.String("trace", "", "write a flight-recorder JSONL event trace to this file")
 	traceCap := flag.Int("tracecap", 4096, "flight-recorder ring capacity (latest events kept)")
 	metrics := flag.Bool("metrics", false, "print the metrics-registry summary")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics /series /trace /healthz /debug/pprof) on this address, e.g. 127.0.0.1:8080")
+	serveHold := flag.Bool("serve-hold", false, "with -serve: keep serving the final state after the run until killed")
+	sampleEvery := flag.Int64("sample-every", 0, "telemetry sampling stride in steps (0 = auto ~512 samples; implies a sampler when -serve is set)")
+	spans := flag.Int64("spans", 0, "trace per-packet spans for ~1/N of packet IDs (0 = off, 1 = every packet)")
 	checkpointFile := flag.String("checkpoint", "", "write an engine checkpoint (JSON) to this file after the run")
 	restoreFile := flag.String("restore", "", "restore engine state from this checkpoint file before running -steps more steps (observer series restart at the resume point)")
 	scenarioFile := flag.String("scenario", "", "run a declarative scenario file instead (overrides topology/policy/adversary flags)")
@@ -150,6 +154,39 @@ func main() {
 		meter = obs.NewMeter(nil)
 		eng.AddObserver(meter)
 	}
+	var sam *obs.Sampler
+	if *serve != "" || *sampleEvery > 0 {
+		ev := *sampleEvery
+		if ev <= 0 {
+			ev = maxI64(*steps/512, 1)
+		}
+		sam = obs.NewSampler(obs.SamplerConfig{Every: ev, Meter: meter})
+		sam.Attach(eng)
+	}
+	var spanTr *obs.SpanTracer
+	if *spans > 0 {
+		spanTr = obs.NewSpanTracer(obs.SpanConfig{SampleEvery: *spans, Seed: uint64(*seed)})
+		spanTr.Attach(eng)
+	}
+	var srv *obs.Server
+	var publish func()
+	if *serve != "" {
+		srv = obs.NewServer()
+		var reg *obs.Registry
+		if meter != nil {
+			reg = meter.Registry()
+		}
+		publish = func() { srv.PublishTelemetry(eng.Now(), reg, sam, spanTr, fr) }
+		// Publish at every sample boundary, from the engine goroutine —
+		// handlers only ever read the published copies.
+		sam.OnSample = publish
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", addr)
+		publish()
+	}
 	if *restoreFile != "" {
 		data, err := os.ReadFile(*restoreFile)
 		if err != nil {
@@ -218,14 +255,31 @@ func main() {
 			die(err)
 		}
 	}
+	if spanTr != nil {
+		fmt.Printf("spans: %d completed (%d live, %d missed), ~1/%d of packet IDs\n",
+			spanTr.DoneTotal(), spanTr.Live(), spanTr.Missed(), *spans)
+		if err := spanTr.WriteResidenceText(os.Stdout); err != nil {
+			die(err)
+		}
+	}
 	if fr != nil {
 		f, err := os.Create(*trace)
 		if err != nil {
 			die(err)
 		}
-		if err := fr.DumpJSONL(f); err != nil {
+		werr := fr.DumpJSONL(f)
+		// The trace file carries the whole telemetry tail: flight events,
+		// then completed spans, then sampler series — all one JSONL
+		// schema, self-validated below.
+		if werr == nil && spanTr != nil {
+			werr = spanTr.DumpJSONL(f)
+		}
+		if werr == nil && sam != nil {
+			werr = sam.DumpJSONL(f)
+		}
+		if werr != nil {
 			f.Close()
-			die(err)
+			die(werr)
 		}
 		if err := f.Close(); err != nil {
 			die(err)
@@ -254,6 +308,15 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("series written to %s\n", *csv)
+	}
+	if srv != nil {
+		// Publish the end-of-run state (post-Finish counters included).
+		publish()
+		if *serveHold {
+			fmt.Fprintln(os.Stderr, "telemetry: run finished; holding server until killed")
+			select {}
+		}
+		srv.Close()
 	}
 	if violation != nil {
 		os.Exit(1)

@@ -10,19 +10,32 @@ import (
 // entry counts as regressed in -against mode.
 const DefaultNsTolerance = 0.10
 
+// allocSlack is the absolute allocs/op increase tolerated for an entry
+// whose previous count was prevAllocs. Hot-path entries (anything under
+// 2000 allocs/op, which includes every 0-allocs/op gate) get zero slack
+// — any new allocation fails. Macro entries measuring whole runs with
+// tens of thousands of allocations per op get 0.05%: their counts pick
+// up single-digit background runtime allocations that track binary
+// composition, not the measured code (verified by rebuilding an
+// unchanged tree with a blank net/http import, which alone shifts
+// SweepParallel/RunLeapE13 by +3 allocs/op).
+func allocSlack(prevAllocs int64) int64 {
+	return prevAllocs / 2000
+}
+
 // Diff compares cur against prev entry-by-entry (matched by name) and
 // renders a fixed-width regression report. An entry regresses when its
 // ns/op grew by more than nsTol relative to prev, or when its allocs/op
-// increased at all. Entries present on only one side are reported but
-// never count as regressions. The second return is true when at least
-// one entry regressed.
+// increased beyond allocSlack (zero for hot-path entries). Entries
+// present on only one side are reported but never count as regressions.
+// The second return is true when at least one entry regressed.
 func Diff(prev, cur Report, nsTol float64) (string, bool) {
 	prevByName := make(map[string]Entry, len(prev.Entries))
 	for _, e := range prev.Entries {
 		prevByName[e.Name] = e
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "bench diff: %s vs %s (fail on >%.0f%% ns/op or any allocs/op increase)\n",
+	fmt.Fprintf(&b, "bench diff: %s vs %s (fail on >%.0f%% ns/op or allocs/op up >0.05%%)\n",
 		labelOr(cur.Label, "current"), labelOr(prev.Label, "previous"), nsTol*100)
 	if cur.Count > 1 {
 		fmt.Fprintf(&b, "current entries are medians of %d runs\n", cur.Count)
@@ -47,7 +60,7 @@ func Diff(prev, cur Report, nsTol float64) (string, bool) {
 		if delta > nsTol {
 			verdict = "REGRESSED ns/op"
 		}
-		if c.AllocsPerOp > p.AllocsPerOp {
+		if c.AllocsPerOp > p.AllocsPerOp+allocSlack(p.AllocsPerOp) {
 			if verdict != "ok" {
 				verdict += "+allocs"
 			} else {

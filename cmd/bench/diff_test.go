@@ -93,6 +93,34 @@ func TestDiffVerdicts(t *testing.T) {
 	}
 }
 
+// TestDiffAllocSlack pins the macro-entry allowance: zero-alloc gates
+// and small counts stay strict (any increase fails) while whole-run
+// entries with tens of thousands of allocs/op absorb the single-digit
+// background-runtime drift that tracks binary composition.
+func TestDiffAllocSlack(t *testing.T) {
+	cases := []struct {
+		name      string
+		prev, cur int64
+		regressed bool
+	}{
+		{"zero stays strict", 0, 1, true},
+		{"small count strict", 1999, 2000, true},
+		{"macro within slack", 24124, 24128, false},
+		{"macro at slack", 87566, 87609, false},
+		{"macro beyond slack", 87566, 87610, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prev := Report{Entries: []Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: c.prev}}}
+			cur := Report{Entries: []Entry{{Name: "a", NsPerOp: 1000, AllocsPerOp: c.cur}}}
+			_, regressed := Diff(prev, cur, DefaultNsTolerance)
+			if regressed != c.regressed {
+				t.Errorf("%d -> %d: regressed = %v, want %v", c.prev, c.cur, regressed, c.regressed)
+			}
+		})
+	}
+}
+
 // TestDiffIgnoresNewAndDropped ensures coverage changes alone never
 // fail the gate.
 func TestDiffIgnoresNewAndDropped(t *testing.T) {

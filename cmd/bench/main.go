@@ -33,7 +33,9 @@
 //
 // -against is the CI diff mode: entries are matched by name against a
 // previous report and the command exits nonzero when ns/op grew by
-// more than the tolerance (default 10%) or allocs/op increased at all.
+// more than the tolerance (default 10%) or allocs/op increased —
+// strictly for hot-path entries, beyond a 0.05% slack for macro
+// entries (see allocSlack in diff.go).
 package main
 
 import (
@@ -369,6 +371,52 @@ func specs() []benchSpec {
 				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
 				eng = sim.New(g, policy.FIFO{}, adv)
 				eng.AddObserver(obs.NewMeter(nil))
+				eng.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+			return res, eng.Stats()
+		},
+	})
+
+	// The live-telemetry pair (PR 10): StepSampled adds the time-series
+	// Sampler on the step hook, StepSpanTraced the per-packet span
+	// tracer on the event hooks. Both ride the same Line(32) traffic and
+	// both must stay allocation-free — the telemetry layer's admission
+	// price into the hot path.
+	out = append(out, benchSpec{
+		name: "StepSampled/Line32/FIFO",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				g := graph.Line(32)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				eng = sim.New(g, policy.FIFO{}, adv)
+				sam := obs.NewSampler(obs.SamplerConfig{Every: 4, MaxSamples: 512})
+				sam.Attach(eng)
+				eng.Run(256)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+			return res, eng.Stats()
+		},
+	})
+	out = append(out, benchSpec{
+		name: "StepSpanTraced/Line32/FIFO",
+		run: func() (testing.BenchmarkResult, sim.StepStats) {
+			var eng *sim.Engine
+			res := testing.Benchmark(func(b *testing.B) {
+				g := graph.Line(32)
+				adv := adversary.NewRandomWR(g, 24, rational.New(1, 3), 4, 7)
+				eng = sim.New(g, policy.FIFO{}, adv)
+				st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 16, Seed: 7})
+				st.Attach(eng)
 				eng.Run(256)
 				b.ReportAllocs()
 				b.ResetTimer()

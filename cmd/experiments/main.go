@@ -31,6 +31,7 @@ func main() {
 	progress := flag.Bool("progress", false, "live experiment-progress status line on stderr")
 	metrics := flag.Bool("metrics", false, "print the merged harness metrics on stderr")
 	trace := flag.String("trace", "", "write a harness-level JSONL event trace to this file")
+	serve := flag.String("serve", "", "serve live progress and the merged harness metrics (/progress /metrics /healthz /debug/pprof) on this address")
 	flag.Parse()
 
 	runners := expt.All()
@@ -61,9 +62,32 @@ func main() {
 		sl = obs.NewStatusLine(os.Stderr)
 		onProgress = sl.Progress()
 	}
+	var srv *obs.Server
+	if *serve != "" {
+		srv = obs.NewServer()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", addr)
+		defer srv.Close()
+		prev := onProgress
+		onProgress = func(p obs.SweepProgress) {
+			srv.OnProgress(p)
+			if prev != nil {
+				prev(p)
+			}
+		}
+	}
 	// RunAllTelemetry merges one obs.Registry per worker goroutine into
 	// a single snapshot — the sweep-level Merge path.
 	results, snap := expt.RunAllTelemetry(runners, expt.Quick(*quick), *jobs, onProgress)
+	if srv != nil {
+		// The merged cross-worker snapshot becomes the final /metrics
+		// exposition once all runners are done.
+		srv.PublishSnapshot(snap)
+	}
 	if sl != nil {
 		sl.Finish()
 	}

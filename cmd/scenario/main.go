@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"aqt/internal/obs"
 	"aqt/internal/scenario"
 	"aqt/internal/stability"
 )
@@ -84,6 +85,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	every := fs.Int64("checkpoint-every", 0, "write a checkpoint every N steps (0 = off)")
 	ckptDir := fs.String("checkpoint-dir", "checkpoints", "directory for -checkpoint-every files (<spec name>.ckpt.json, overwritten per segment)")
 	restore := fs.String("restore", "", "resume a single scenario from this checkpoint file (one input file only)")
+	serve := fs.String("serve", "", "serve live telemetry (/metrics /series /trace /healthz /debug/pprof) on this address while running (one input file only)")
+	serveHold := fs.Bool("serve-hold", false, "with -serve: keep serving the final state after the run until killed")
+	sampleEvery := fs.Int64("sample-every", 0, "with -serve: sampling stride for the telemetry sampler attached to the run (0 = auto ~512 samples)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +99,23 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	if *restore != "" && len(files) != 1 {
 		fmt.Fprintln(stderr, "scenario run: -restore takes exactly one scenario file")
 		return 2
+	}
+	if (*serveHold || *sampleEvery > 0) && *serve == "" {
+		fmt.Fprintln(stderr, "scenario run: -serve-hold and -sample-every require -serve")
+		return 2
+	}
+	if *serve != "" {
+		if len(files) != 1 {
+			fmt.Fprintln(stderr, "scenario run: -serve takes exactly one scenario file")
+			return 2
+		}
+		if *every > 0 {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		return cmdRunServe(files[0], *serve, *serveHold, *sampleEvery, *restore, *every, *ckptDir, stdout, stderr)
 	}
 	if *every > 0 {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -155,6 +176,98 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// cmdRunServe runs exactly one scenario with an embedded telemetry
+// server attached. Serve-only observers fill whatever the spec does
+// not configure — a meter so /metrics always has families to expose,
+// and a sampler to drive the publish cadence — but stay out of Built,
+// so checkpoints still match the spec's observer set exactly. Results
+// are unchanged either way (leap windows are exact by construction),
+// only the leap window census and per-step cost can differ from an
+// unserved run.
+func cmdRunServe(path, addr string, hold bool, sampleEvery int64, restore string, every int64, ckptDir string, stdout, stderr io.Writer) int {
+	b, err := scenario.BuildFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	meter := b.Meter
+	serveOnlyMeter := meter == nil
+	if serveOnlyMeter {
+		meter = obs.NewMeter(nil)
+		b.Engine.AddObserver(meter)
+	}
+	sam := b.Sampler
+	if sam == nil {
+		ev := sampleEvery
+		if ev <= 0 {
+			if ev = b.Spec.Run.Steps / 512; ev < 1 {
+				ev = 1
+			}
+		}
+		sam = obs.NewSampler(obs.SamplerConfig{Every: ev, Meter: meter})
+		sam.Attach(b.Engine)
+	}
+	reg := meter.Registry()
+	srv := obs.NewServer()
+	publish := func() {
+		srv.PublishTelemetry(b.Engine.Now(), reg, sam, b.Spans, nil)
+	}
+	sam.OnSample = publish
+	got, err := srv.Start(addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "telemetry: serving on http://%s\n", got)
+	publish()
+	if restore != "" {
+		data, err := os.ReadFile(restore)
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario run: "+err.Error())
+			return 1
+		}
+		cp, err := scenario.DecodeCheckpoint(restore, data)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := b.Restore(cp); err != nil {
+			fmt.Fprintln(stderr, "scenario run: "+err.Error())
+			return 1
+		}
+	}
+	var out scenario.Outcome
+	switch {
+	case every > 0:
+		dest := filepath.Join(ckptDir, sanitizeName(b.Spec.Name)+".ckpt.json")
+		out, err = b.RunCheckpointed(b.Spec.Run.Mode, every, func(cp *scenario.Checkpoint, step int64) error {
+			return os.WriteFile(dest, cp.Encode(), 0o644)
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "scenario run: "+err.Error())
+			return 1
+		}
+	case restore != "":
+		out = b.RunRemaining()
+	default:
+		out = b.Run()
+	}
+	if serveOnlyMeter {
+		meter.Finish(b.Engine)
+	}
+	publish()
+	b.WriteReport(stdout, out)
+	if hold {
+		fmt.Fprintln(stderr, "telemetry: run finished; holding server until killed")
+		select {}
+	}
+	srv.Close()
+	if !out.OK() {
 		return 1
 	}
 	return 0

@@ -48,6 +48,7 @@ func run(args []string, out, errw io.Writer) int {
 	sCap := fs.Int64("scap", 3000, "cap on the pump size S")
 	workers := fs.Int("workers", 0, "probe worker pool size (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "live probe-progress status line on stderr")
+	serve := fs.String("serve", "", "serve live sweep progress (/progress /healthz /debug/pprof) on this address while probing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +60,23 @@ func run(args []string, out, errw io.Writer) int {
 	if *progress {
 		sl = obs.NewStatusLine(errw)
 		onProgress = sl.Progress()
+	}
+	if *serve != "" {
+		srv := obs.NewServer()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(errw, err)
+			return 1
+		}
+		fmt.Fprintf(errw, "telemetry: serving on http://%s\n", addr)
+		defer srv.Close()
+		prev := onProgress
+		onProgress = func(p obs.SweepProgress) {
+			srv.OnProgress(p)
+			if prev != nil {
+				prev(p)
+			}
+		}
 	}
 	finishProgress := func() {
 		if sl != nil {

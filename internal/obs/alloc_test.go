@@ -60,3 +60,56 @@ func TestStepAllocsTracedAndMetered(t *testing.T) {
 		t.Errorf("traced+metered Step: %v allocs/op, want 0", avg)
 	}
 }
+
+func TestStepAllocsSampled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	e := tracedEngine(func(e *sim.Engine) {
+		s := obs.NewSampler(obs.SamplerConfig{Every: 4, MaxSamples: 64})
+		s.Attach(e)
+	})
+	if avg := testing.AllocsPerRun(512, func() { e.Step() }); avg != 0 {
+		t.Errorf("sampled Step: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestStepAllocsSpanTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	e := tracedEngine(func(e *sim.Engine) {
+		st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 2, Seed: 9})
+		st.Attach(e)
+	})
+	if avg := testing.AllocsPerRun(512, func() { e.Step() }); avg != 0 {
+		t.Errorf("span-traced Step: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestStepAllocsFullTelemetry is the PR's acceptance gate: sampler,
+// span tracer, flight recorder, meter AND a publishing server wired
+// through OnSample — the full live-telemetry stack — must leave Step
+// at 0 allocs/op once the publish buffers reach steady state.
+func TestStepAllocsFullTelemetry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	srv := obs.NewServer()
+	e := tracedEngine(func(e *sim.Engine) {
+		meter := obs.NewMeter(nil)
+		e.AddObserver(meter)
+		sam := obs.NewSampler(obs.SamplerConfig{Every: 4, MaxSamples: 64, Meter: meter})
+		sam.Attach(e)
+		sp := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 2, Seed: 9})
+		sp.Attach(e)
+		fr := obs.NewFlightRecorder(4096)
+		e.AddEventObserver(fr)
+		sam.OnSample = func() {
+			srv.PublishTelemetry(e.Now(), meter.Registry(), sam, sp, fr)
+		}
+	})
+	if avg := testing.AllocsPerRun(512, func() { e.Step() }); avg != 0 {
+		t.Errorf("full-telemetry Step: %v allocs/op, want 0", avg)
+	}
+}

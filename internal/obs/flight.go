@@ -227,6 +227,23 @@ func (r *FlightRecorder) Events() []Event {
 	return out
 }
 
+// EventsInto copies the retained events in chronological order into
+// *dst, reusing its backing storage; once *dst has grown to the ring
+// capacity it allocates nothing. The server publisher runs this at
+// every sample boundary.
+func (r *FlightRecorder) EventsInto(dst *[]Event) {
+	d := (*dst)[:0]
+	if cap(d) < len(r.ring) {
+		d = make([]Event, 0, len(r.ring))
+	}
+	n := uint64(r.Len())
+	start := r.total - n
+	for i := uint64(0); i < n; i++ {
+		d = append(d, r.ring[(start+i)%uint64(len(r.ring))])
+	}
+	*dst = d
+}
+
 // jsonEvent is the JSONL wire form of an Event.
 type jsonEvent struct {
 	T     int64  `json:"t"`
@@ -243,7 +260,14 @@ type jsonEvent struct {
 // leap lines carry only the window length (hops) and label;
 // ValidateJSONL checks the inverse schema.
 func (r *FlightRecorder) DumpJSONL(w io.Writer) error {
-	for _, ev := range r.Events() {
+	return DumpEventsJSONL(w, r.Events())
+}
+
+// DumpEventsJSONL writes events in the flight-recorder JSONL wire form
+// — the /trace shape, shared by the server (which serves published
+// event copies, not the live ring) and DumpJSONL.
+func DumpEventsJSONL(w io.Writer, events []Event) error {
+	for _, ev := range events {
 		je := jsonEvent{T: ev.T, Kind: ev.Kind.String(), Label: ev.Label}
 		switch ev.Kind {
 		case EvMarker, EvFailure:

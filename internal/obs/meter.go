@@ -52,6 +52,11 @@ func NewMeter(reg *Registry) *Meter {
 // Registry returns the registry the meter records into.
 func (m *Meter) Registry() *Registry { return m.reg }
 
+// LatencySnapshot returns the current state of the end-to-end latency
+// histogram as a value (stack-allocated; no handle escapes). The
+// Sampler derives its latency-quantile series from this.
+func (m *Meter) LatencySnapshot() HistogramSnapshot { return m.latency.Snapshot() }
+
 // OnStep implements sim.Observer: both reads are O(1) (the engine
 // maintains the max occupancy incrementally).
 func (m *Meter) OnStep(e *sim.Engine) {

@@ -104,13 +104,24 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type Registry struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	// ordC/ordH hold the same metrics sorted by name, maintained at
+	// registration time so SnapshotInto can render a deterministic
+	// snapshot without sorting (and therefore without allocating).
+	ordC []*Counter
+	ordH []*Histogram
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry. The ordered lists start with
+// capacity for the usual engine-metric census so steady registration
+// costs one allocation per metric (the value itself), keeping macro
+// benchmarks' alloc counts where they were before ordering moved to
+// registration time.
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		ordC:     make([]*Counter, 0, 8),
+		ordH:     make([]*Histogram, 0, 8),
 	}
 }
 
@@ -122,6 +133,10 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	c := &Counter{name: name}
 	r.counters[name] = c
+	i := sort.Search(len(r.ordC), func(i int) bool { return r.ordC[i].name >= name })
+	r.ordC = append(r.ordC, nil)
+	copy(r.ordC[i+1:], r.ordC[i:])
+	r.ordC[i] = c
 	return c
 }
 
@@ -133,20 +148,39 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	h := &Histogram{name: name}
 	r.hists[name] = h
+	i := sort.Search(len(r.ordH), func(i int) bool { return r.ordH[i].name >= name })
+	r.ordH = append(r.ordH, nil)
+	copy(r.ordH[i+1:], r.ordH[i:])
+	r.ordH[i] = h
 	return h
 }
 
 // Snapshot captures every metric's current value, sorted by name.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
-	for _, c := range r.counters {
-		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.n})
-	}
-	for _, h := range r.hists {
-		s.Histograms = append(s.Histograms, h.Snapshot())
-	}
-	s.sort()
+	r.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto captures every metric's current value, sorted by name,
+// reusing dst's slices. Once dst has been through one capture (or was
+// sized for the registry), subsequent calls are allocation-free — the
+// form the live-telemetry publisher uses at every sample boundary.
+func (r *Registry) SnapshotInto(dst *Snapshot) {
+	if cap(dst.Counters) < len(r.ordC) {
+		dst.Counters = make([]CounterSnapshot, 0, len(r.ordC))
+	}
+	if cap(dst.Histograms) < len(r.ordH) {
+		dst.Histograms = make([]HistogramSnapshot, 0, len(r.ordH))
+	}
+	dst.Counters = dst.Counters[:0]
+	dst.Histograms = dst.Histograms[:0]
+	for _, c := range r.ordC {
+		dst.Counters = append(dst.Counters, CounterSnapshot{Name: c.name, Value: c.n})
+	}
+	for _, h := range r.ordH {
+		dst.Histograms = append(dst.Histograms, h.Snapshot())
+	}
 }
 
 // CounterSnapshot is one counter's value at snapshot time.

@@ -1,0 +1,73 @@
+// Prometheus text exposition (version 0.0.4) of a Snapshot: counters
+// as counter families, log2 histograms as native Prometheus
+// histograms with cumulative le bounds at each bucket's inclusive top
+// (2^b − 1). Only the stdlib is involved — no client library.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// promName mangles a registry metric name into a Prometheus-legal one:
+// every character outside [a-zA-Z0-9_] becomes '_' and the result is
+// prefixed with "aqt_" ("sim.queue_total" → "aqt_sim_queue_total").
+func promName(name string) string {
+	out := make([]byte, 0, len(name)+4)
+	out = append(out, "aqt_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// bucketTop returns the inclusive upper bound of log2 bucket b:
+// bucket 0 holds exactly 0, bucket b holds [2^(b-1), 2^b). Saturates
+// at MaxInt64 where the shift would overflow.
+func bucketTop(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(b) - 1
+}
+
+// WriteProm renders snap in the Prometheus text exposition format,
+// metrics sorted by name (a Snapshot is already sorted). Histogram
+// buckets are emitted cumulatively up to the last non-empty bucket,
+// then +Inf, _sum and _count.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range snap.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, h := range snap.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		last := -1
+		for b := 0; b < histBuckets; b++ {
+			if h.Buckets[b] != 0 {
+				last = b
+			}
+		}
+		var cum int64
+		for b := 0; b <= last; b++ {
+			cum += h.Buckets[b]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, bucketTop(b), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	return bw.Flush()
+}

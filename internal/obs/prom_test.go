@@ -1,0 +1,47 @@
+// Golden test for the Prometheus text exposition: exact bytes for a
+// fixed registry, pinning name mangling, cumulative log2 bucket bounds
+// and the empty-histogram shape.
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"aqt/internal/obs"
+)
+
+func TestWritePromGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("evt.drop").Add(7)
+	h := reg.Histogram("span.edge_wait.e1")
+	for _, v := range []int64{0, 1, 2, 3, 10} {
+		h.Observe(v)
+	}
+	reg.Histogram("zz.empty") // registered, never observed
+
+	var snap obs.Snapshot
+	reg.SnapshotInto(&snap)
+	var buf bytes.Buffer
+	if err := obs.WriteProm(&buf, snap); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	want := `# TYPE aqt_evt_drop counter
+aqt_evt_drop 7
+# TYPE aqt_span_edge_wait_e1 histogram
+aqt_span_edge_wait_e1_bucket{le="0"} 1
+aqt_span_edge_wait_e1_bucket{le="1"} 2
+aqt_span_edge_wait_e1_bucket{le="3"} 4
+aqt_span_edge_wait_e1_bucket{le="7"} 4
+aqt_span_edge_wait_e1_bucket{le="15"} 5
+aqt_span_edge_wait_e1_bucket{le="+Inf"} 5
+aqt_span_edge_wait_e1_sum 16
+aqt_span_edge_wait_e1_count 5
+# TYPE aqt_zz_empty histogram
+aqt_zz_empty_bucket{le="+Inf"} 0
+aqt_zz_empty_sum 0
+aqt_zz_empty_count 0
+`
+	if buf.String() != want {
+		t.Errorf("exposition differs:\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

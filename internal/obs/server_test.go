@@ -1,0 +1,203 @@
+// Telemetry server coverage: endpoint contents against a real traced
+// engine, published-snapshot isolation (handlers never see live
+// observer state), and a live concurrency test — engine stepping and
+// publishing while HTTP scrapes hammer every endpoint — that gives the
+// race detector something to chew on under `make race`.
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"aqt/internal/obs"
+)
+
+// telemetryFixture builds a traced burst engine wired to a server the
+// way the CLIs wire it: sampler OnSample publishes every source.
+func telemetryFixture() (*obs.Server, func(steps int64)) {
+	e := burstEngine()
+	meter := obs.NewMeter(nil)
+	e.AddObserver(meter)
+	sam := obs.NewSampler(obs.SamplerConfig{Every: 4, MaxSamples: 64, Meter: meter})
+	sam.Attach(e)
+	sp := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 2, Seed: 5})
+	sp.Attach(e)
+	fr := obs.NewFlightRecorder(256)
+	e.AddEventObserver(fr)
+	srv := obs.NewServer()
+	sam.OnSample = func() {
+		srv.PublishTelemetry(e.Now(), meter.Registry(), sam, sp, fr)
+	}
+	return srv, func(steps int64) { e.Run(steps) }
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, run := telemetryFixture()
+	run(600)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if body, _ := get(t, ts, "/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q, want \"ok\\n\"", body)
+	}
+
+	body, ctype := get(t, ts, "/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{"# TYPE aqt_sim_latency histogram", "# TYPE aqt_sim_queue_total histogram"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get(t, ts, "/series")
+	if !strings.HasPrefix(ctype, "application/jsonl") {
+		t.Errorf("/series content type %q", ctype)
+	}
+	if n, err := obs.ValidateJSONL(strings.NewReader(body)); err != nil || n == 0 {
+		t.Errorf("/series invalid: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(body, `"label":"latency_p99"`) {
+		t.Error("/series missing the meter-linked latency_p99 series")
+	}
+
+	body, _ = get(t, ts, "/trace")
+	if n, err := obs.ValidateJSONL(strings.NewReader(body)); err != nil || n == 0 {
+		t.Errorf("/trace invalid: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(body, `"kind":"span"`) {
+		t.Error("/trace carries no span lines")
+	}
+	if !strings.Contains(body, `"kind":"inject"`) {
+		t.Error("/trace carries no flight-recorder lines")
+	}
+
+	body, ctype = get(t, ts, "/progress")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/progress content type %q", ctype)
+	}
+	var prog struct {
+		HasProgress bool `json:"has_progress"`
+		Done        int  `json:"done"`
+		Total       int  `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if prog.HasProgress {
+		t.Error("/progress claims progress before any OnProgress")
+	}
+	srv.OnProgress(obs.SweepProgress{Done: 3, Total: 9, InFlight: 2})
+	body, _ = get(t, ts, "/progress")
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if !prog.HasProgress || prog.Done != 3 || prog.Total != 9 {
+		t.Errorf("/progress = %s, want done 3/9 with has_progress", body)
+	}
+
+	if body, _ := get(t, ts, "/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestServerStart covers the self-listening path the CLIs use.
+func TestServerStart(t *testing.T) {
+	srv, run := telemetryFixture()
+	run(100)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok\n" {
+		t.Errorf("healthz over Start = %q", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestServerLiveScrapeRace is the goroutine-confinement gate: one
+// goroutine steps the engine (publishing at every sample boundary)
+// while scrapers hit every endpoint concurrently. Run under -race via
+// `make race`, any handler touching live engine state is caught.
+func TestServerLiveScrapeRace(t *testing.T) {
+	srv, run := telemetryFixture()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			run(50)
+			srv.OnProgress(obs.SweepProgress{Done: i, Total: 40})
+		}
+	}()
+
+	var wg sync.WaitGroup
+	paths := []string{"/metrics", "/series", "/trace", "/progress", "/healthz"}
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + p)
+				if err != nil {
+					t.Errorf("GET %s: %v", p, err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("GET %s: drain: %v", p, err)
+				}
+				resp.Body.Close()
+			}
+		}(p)
+	}
+	wg.Wait()
+	<-done
+
+	// The final publish must still be coherent: /series and /trace
+	// validate against the schema.
+	for _, p := range []string{"/series", "/trace"} {
+		body, _ := get(t, ts, p)
+		if _, err := obs.ValidateJSONL(strings.NewReader(body)); err != nil {
+			t.Errorf("%s after concurrent scraping: %v", p, err)
+		}
+	}
+}

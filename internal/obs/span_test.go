@@ -1,0 +1,303 @@
+// SpanTracer coverage: end-to-end span capture with residence
+// histograms, seeded ID sampling, the JSONL wire form (golden-pinned
+// and schema-validated), drain-window vetoes, and state round trips
+// with hostile-input rejection.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"aqt/internal/graph"
+	"aqt/internal/obs"
+)
+
+// TestSpanTracerEndToEnd: every packet of the single-edge burst
+// workload is tracked (SampleEvery 1), so the tracer must complete one
+// span per absorption, each a structurally consistent 1-hop absorb
+// span, and the e1 residence histogram must hold exactly one wait per
+// span.
+func TestSpanTracerEndToEnd(t *testing.T) {
+	e := burstEngine()
+	st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+	st.Attach(e)
+	e.Run(1000)
+	if st.Missed() != 0 {
+		t.Fatalf("%d sampled injections missed (live table too small for the workload)", st.Missed())
+	}
+	if got, want := st.DoneTotal(), uint64(e.Absorbed()); got != want {
+		t.Fatalf("completed %d spans, engine absorbed %d", got, want)
+	}
+	if st.DoneTotal() == 0 {
+		t.Fatal("workload absorbed nothing")
+	}
+	for i, sp := range st.Done() {
+		if sp.Drop {
+			t.Errorf("span %d: drop outcome in a lossless workload", i)
+		}
+		if sp.Hops != 1 || sp.NPath != 1 {
+			t.Errorf("span %d: hops=%d npath=%d on a 1-edge route", i, sp.Hops, sp.NPath)
+		}
+		if sp.End < sp.Start {
+			t.Errorf("span %d: ends at %d before start %d", i, sp.End, sp.Start)
+		}
+		if sp.NPath > 0 && sp.Path[sp.NPath-1].Edge != sp.Edge {
+			t.Errorf("span %d: final path edge %d != span edge %d", i, sp.Path[sp.NPath-1].Edge, sp.Edge)
+		}
+	}
+	var snap obs.Snapshot
+	st.Registry().SnapshotInto(&snap)
+	var observed int64
+	for _, h := range snap.Histograms {
+		observed += h.Count
+	}
+	if observed != int64(st.DoneTotal()) {
+		t.Errorf("residence histograms hold %d waits, spans recorded %d hops", observed, st.DoneTotal())
+	}
+}
+
+// TestSpanTracerSampling: a sparse seeded sample tracks a strict,
+// deterministic subset — two identically seeded runs agree exactly,
+// and a different seed picks a different population.
+func TestSpanTracerSampling(t *testing.T) {
+	run := func(seed uint64) *obs.SpanTracer {
+		e := burstEngine()
+		st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 4, Seed: seed})
+		st.Attach(e)
+		e.Run(1000)
+		return st
+	}
+	a, b := run(7), run(7)
+	if a.DoneTotal() == 0 {
+		t.Fatal("sparse sample tracked nothing (workload too small)")
+	}
+	if a.DoneTotal() >= uint64(burstAbsorbed(t)) {
+		t.Errorf("SampleEvery=4 tracked %d of %d absorptions — not a strict subset", a.DoneTotal(), burstAbsorbed(t))
+	}
+	if !reflect.DeepEqual(a.Done(), b.Done()) {
+		t.Error("identically seeded runs tracked different spans")
+	}
+	if c := run(8); c.DoneTotal() == a.DoneTotal() {
+		ca, cc := a.Done(), c.Done()
+		if reflect.DeepEqual(ca, cc) {
+			t.Error("different seeds picked the identical sample population")
+		}
+	}
+}
+
+// burstAbsorbed runs the burst workload untraced and returns its
+// absorption count (the denominator for sampling assertions).
+func burstAbsorbed(t *testing.T) int64 {
+	t.Helper()
+	e := burstEngine()
+	e.Run(1000)
+	return e.Absorbed()
+}
+
+// TestSpanJSONGolden pins the exact JSONL line a span marshals to and
+// the round trip back through UnmarshalJSON.
+func TestSpanJSONGolden(t *testing.T) {
+	sp := obs.Span{
+		Pkt: 42, Start: 10, End: 25, Drop: false, Edge: graph.EdgeID(3),
+		Hops: 2, NPath: 2,
+	}
+	sp.Path[0] = obs.SpanHop{Edge: 1, T: 14, Wait: 4}
+	sp.Path[1] = obs.SpanHop{Edge: 3, T: 25, Wait: 9}
+	line, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want := `{"t":25,"kind":"span","pkt":42,"edge":3,"hops":2,"aux":15,"label":"absorb","path":[[1,14,4],[3,25,9]]}`
+	if string(line) != want {
+		t.Errorf("span line:\n got %s\nwant %s", line, want)
+	}
+	if n, err := obs.ValidateJSONL(bytes.NewReader(line)); err != nil || n != 1 {
+		t.Errorf("golden line fails the schema: n=%d err=%v", n, err)
+	}
+	var back obs.Span
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back, sp) {
+		t.Errorf("round trip differs:\n got %+v\nwant %+v", back, sp)
+	}
+
+	drop := obs.Span{Pkt: 7, Start: 3, End: 3, Drop: true, Edge: 0, Hops: 0, NPath: 0}
+	line, err = json.Marshal(drop)
+	if err != nil {
+		t.Fatalf("Marshal drop: %v", err)
+	}
+	wantDrop := `{"t":3,"kind":"span","pkt":7,"edge":0,"hops":0,"aux":0,"label":"drop","path":[]}`
+	if string(line) != wantDrop {
+		t.Errorf("drop span line:\n got %s\nwant %s", line, wantDrop)
+	}
+}
+
+// TestSpanUnmarshalRejects: every malformed wire-form class errors
+// (span payloads live inside fuzzed checkpoint documents).
+func TestSpanUnmarshalRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{"t":5,"kind":"sample","pkt":1,"edge":0,"hops":0,"aux":0,"label":"absorb","path":[]}`,              // wrong kind
+		`{"t":5,"kind":"span","pkt":1,"edge":0,"hops":0,"aux":0,"label":"evaporate","path":[]}`,             // bad label
+		`{"t":5,"kind":"span","pkt":1,"edge":0,"hops":-1,"aux":0,"label":"absorb","path":[]}`,               // negative hops
+		`{"t":5,"kind":"span","pkt":1,"edge":0,"hops":0,"aux":-2,"label":"absorb","path":[]}`,               // negative latency
+		`{"t":5,"kind":"span","pkt":1,"edge":0,"hops":1,"aux":0,"label":"absorb","path":[[0,1,0],[1,2,0]]}`, // path > hops
+		`{"t":5,"kind":"span","pkt":1,"edge":0,"hops":1,"aux":0,"label":"absorb","path":[[0,1]]}`,           // short triple
+	} {
+		var sp obs.Span
+		if err := json.Unmarshal([]byte(bad), &sp); err == nil {
+			t.Errorf("accepted invalid span line: %s", bad)
+		}
+	}
+}
+
+// TestSpanTracerDumpValidates: the JSONL dump of a traced run passes
+// the schema with one line per retained span.
+func TestSpanTracerDumpValidates(t *testing.T) {
+	e := burstEngine()
+	st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+	st.Attach(e)
+	e.Run(1000)
+	var buf bytes.Buffer
+	if err := st.DumpJSONL(&buf); err != nil {
+		t.Fatalf("DumpJSONL: %v", err)
+	}
+	n, err := obs.ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	if want := len(st.Done()); n != want {
+		t.Errorf("dump has %d lines, tracer retains %d spans", n, want)
+	}
+}
+
+// TestSpanTracerVetoesDrains: with every packet tracked, a drain
+// window always has tracked spans in flight, so the tracer must veto
+// all drains (idle windows still leap) — and the leaped run's state
+// must equal a stepped run's exactly.
+func TestSpanTracerVetoesDrains(t *testing.T) {
+	const steps = 1000
+	le, se := burstEngine(), burstEngine()
+	lt := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+	stt := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+	lt.Attach(le)
+	stt.Attach(se)
+	le.RunLeap(steps)
+	se.Run(steps)
+	if d := le.Leaps().Drain; d != 0 {
+		t.Errorf("tracer with live spans accepted %d drain windows, want 0", d)
+	}
+	if le.Leaps().Idle == 0 {
+		t.Error("idle windows must still leap with a span tracer attached")
+	}
+	if !reflect.DeepEqual(lt.CheckpointState(), stt.CheckpointState()) {
+		t.Errorf("span tracer states differ after leap vs step:\nleap: %+v\nstep: %+v",
+			lt.CheckpointState(), stt.CheckpointState())
+	}
+}
+
+// TestSpanTracerAcceptsDrainsWhenEmpty: a sample so sparse it tracks
+// nothing leaves the live table empty, so every drain is attributable
+// to untracked packets and must be accepted.
+func TestSpanTracerAcceptsDrainsWhenEmpty(t *testing.T) {
+	e := burstEngine()
+	st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1 << 40, Seed: 1})
+	st.Attach(e)
+	e.RunLeap(1000)
+	if st.DoneTotal() != 0 || st.Live() != 0 {
+		t.Fatalf("astronomically sparse sample still tracked spans (done=%d live=%d)", st.DoneTotal(), st.Live())
+	}
+	if e.Leaps().Drain == 0 {
+		t.Error("empty tracer must accept drain windows, engine leaped none")
+	}
+}
+
+// TestSpanStateRoundTrip: checkpoint mid-burst (live spans in flight),
+// restore onto a fresh tracer + restored engine, finish both — spans,
+// counters and histograms must agree exactly.
+func TestSpanStateRoundTrip(t *testing.T) {
+	const total, k = 1000, 333 // k inside a burst so live spans exist
+	ref := burstEngine()
+	rt := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 2, Seed: 3})
+	rt.Attach(ref)
+	ref.Run(total)
+
+	half := burstEngine()
+	ht := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 2, Seed: 3})
+	ht.Attach(half)
+	half.Run(k)
+	st := ht.CheckpointState()
+	if data, err := json.Marshal(st); err != nil {
+		t.Fatalf("state marshal: %v", err)
+	} else {
+		var back obs.SpanState
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("state unmarshal: %v", err)
+		}
+		st = back
+	}
+
+	cp, err := half.Checkpoint()
+	if err != nil {
+		t.Fatalf("engine checkpoint: %v", err)
+	}
+	resumed := burstEngine()
+	if err := resumed.Restore(cp); err != nil {
+		t.Fatalf("engine restore: %v", err)
+	}
+	gt := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 2, Seed: 3})
+	gt.Attach(resumed)
+	if err := gt.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	resumed.Run(total - k)
+	if !reflect.DeepEqual(rt.CheckpointState(), gt.CheckpointState()) {
+		t.Errorf("resumed tracer state differs from straight run:\nref: %+v\ngot: %+v",
+			rt.CheckpointState(), gt.CheckpointState())
+	}
+}
+
+// TestSpanStateRejects: every malformed-state class is refused.
+func TestSpanStateRejects(t *testing.T) {
+	mk := func() obs.SpanState {
+		e := burstEngine()
+		st := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+		st.Attach(e)
+		e.Run(400)
+		return st.CheckpointState()
+	}
+	cases := []struct {
+		name string
+		mut  func(st *obs.SpanState)
+	}{
+		{"sample_every below 1", func(st *obs.SpanState) { st.SampleEvery = 0 }},
+		{"max_live out of range", func(st *obs.SpanState) { st.MaxLive = 0 }},
+		{"max_live hostile", func(st *obs.SpanState) { st.MaxLive = 1 << 21 }},
+		{"max_done too small", func(st *obs.SpanState) { st.MaxDone = 8 }},
+		{"live overflow", func(st *obs.SpanState) {
+			st.MaxLive = 1
+			st.Live = make([]obs.Span, 2)
+		}},
+		{"done count mismatch", func(st *obs.SpanState) { st.DoneTotal += 5 }},
+		{"corrupt npath", func(st *obs.SpanState) { st.Done[0].NPath = obs.SpanMaxHops + 1 }},
+		{"npath beyond hops", func(st *obs.SpanState) { st.Done[0].NPath = st.Done[0].Hops + 1 }},
+		{"span ends before start", func(st *obs.SpanState) { st.Done[0].End = st.Done[0].Start - 1 }},
+	}
+	for _, tc := range cases {
+		st := mk()
+		if len(st.Done) == 0 {
+			t.Fatalf("%s: fixture completed no spans", tc.name)
+		}
+		tc.mut(&st)
+		fresh := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+		if err := fresh.RestoreState(st); err == nil {
+			t.Errorf("%s: malformed state accepted", tc.name)
+		}
+	}
+	fresh := obs.NewSpanTracer(obs.SpanConfig{SampleEvery: 1})
+	if err := fresh.RestoreState(mk()); err != nil {
+		t.Errorf("pristine state rejected: %v", err)
+	}
+}

@@ -65,6 +65,8 @@ type Built struct {
 	Latency  *sim.LatencyObserver
 	Window   *adversary.WindowValidator
 	Meter    *obs.Meter
+	Sampler  *obs.Sampler
+	Spans    *obs.SpanTracer
 }
 
 // Build validates the spec and instantiates it. Observers are attached
@@ -120,6 +122,20 @@ func build(c ctx, s *Spec) (*Built, error) {
 		case ObsMeter:
 			b.Meter = obs.NewMeter(nil)
 			e.AddObserver(b.Meter)
+		}
+	}
+	// Telemetry observers attach in a second pass: the sampler links to
+	// the meter (latency-quantile series) regardless of the order the
+	// spec listed them in.
+	for _, name := range s.Run.Observers {
+		switch name {
+		case ObsSampler:
+			b.Sampler = obs.NewSampler(obs.SamplerConfig{
+				Every: recorderStride(s.Run.Steps), Meter: b.Meter})
+			b.Sampler.Attach(e)
+		case ObsSpans:
+			b.Spans = obs.NewSpanTracer(obs.SpanConfig{})
+			b.Spans.Attach(e)
 		}
 	}
 	for _, inj := range comp.seeds {

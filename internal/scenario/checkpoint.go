@@ -1,6 +1,7 @@
 // Scenario-level checkpoint/restore: one document wrapping the engine
 // checkpoint together with the states of every observer the spec
-// configured (Recorder, latency, window validator, meter). The spec
+// configured (Recorder, latency, window validator, meter, sampler,
+// span tracer). The spec
 // file is the single source of truth for everything a checkpoint does
 // NOT carry — topology, policy table, buffer config, adversary
 // program — so restore means: Build the same spec fresh, then apply
@@ -36,6 +37,8 @@ type Checkpoint struct {
 	Latency  []int64              `json:"latency,omitempty"`
 	Window   adversary.UsageState `json:"window,omitempty"`
 	Meter    *obs.MeterState      `json:"meter,omitempty"`
+	Sampler  *obs.SamplerState    `json:"sampler,omitempty"`
+	Spans    *obs.SpanState       `json:"spans,omitempty"`
 
 	hasLatency bool // tracked explicitly: an empty series omits the field
 }
@@ -52,6 +55,8 @@ type checkpointDoc struct {
 	Latency    []int64              `json:"latency,omitempty"`
 	Window     adversary.UsageState `json:"window,omitempty"`
 	Meter      *obs.MeterState      `json:"meter,omitempty"`
+	Sampler    *obs.SamplerState    `json:"sampler,omitempty"`
+	Spans      *obs.SpanState       `json:"spans,omitempty"`
 }
 
 // Checkpoint extracts the built scenario's complete run state. The
@@ -82,6 +87,14 @@ func (b *Built) Checkpoint() (*Checkpoint, error) {
 		st := b.Meter.CheckpointState()
 		cp.Meter = &st
 	}
+	if b.Sampler != nil {
+		st := b.Sampler.CheckpointState()
+		cp.Sampler = &st
+	}
+	if b.Spans != nil {
+		st := b.Spans.CheckpointState()
+		cp.Spans = &st
+	}
 	return cp, nil
 }
 
@@ -97,6 +110,8 @@ func (cp *Checkpoint) Encode() []byte {
 		Latency:    cp.Latency,
 		Window:     cp.Window,
 		Meter:      cp.Meter,
+		Sampler:    cp.Sampler,
+		Spans:      cp.Spans,
 	}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
@@ -153,6 +168,8 @@ func DecodeCheckpoint(file string, data []byte) (*Checkpoint, error) {
 		Latency:    doc.Latency,
 		Window:     doc.Window,
 		Meter:      doc.Meter,
+		Sampler:    doc.Sampler,
+		Spans:      doc.Spans,
 		hasLatency: doc.HasLatency,
 	}, nil
 }
@@ -185,6 +202,14 @@ func (b *Built) Restore(cp *Checkpoint) error {
 		return fmt.Errorf("scenario checkpoint: meter state present=%v but spec configures meter=%v",
 			cp.Meter != nil, b.Meter != nil)
 	}
+	if (cp.Sampler != nil) != (b.Sampler != nil) {
+		return fmt.Errorf("scenario checkpoint: sampler state present=%v but spec configures sampler=%v",
+			cp.Sampler != nil, b.Sampler != nil)
+	}
+	if (cp.Spans != nil) != (b.Spans != nil) {
+		return fmt.Errorf("scenario checkpoint: span state present=%v but spec configures spans=%v",
+			cp.Spans != nil, b.Spans != nil)
+	}
 	if err := b.Engine.Restore(cp.Engine); err != nil {
 		return err
 	}
@@ -203,6 +228,16 @@ func (b *Built) Restore(cp *Checkpoint) error {
 	}
 	if cp.Meter != nil {
 		if err := b.Meter.RestoreState(*cp.Meter); err != nil {
+			return err
+		}
+	}
+	if cp.Sampler != nil {
+		if err := b.Sampler.RestoreState(*cp.Sampler); err != nil {
+			return err
+		}
+	}
+	if cp.Spans != nil {
+		if err := b.Spans.RestoreState(*cp.Spans); err != nil {
 			return err
 		}
 	}

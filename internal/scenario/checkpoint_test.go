@@ -77,6 +77,18 @@ func requireSameObservers(t *testing.T, label string, ref, got *Built) {
 			t.Errorf("%s: meter registry differs:\nref: %+v\ngot: %+v", label, rs, gs)
 		}
 	}
+	if ref.Sampler != nil {
+		rs, gs := ref.Sampler.CheckpointState(), got.Sampler.CheckpointState()
+		if !reflect.DeepEqual(rs, gs) {
+			t.Errorf("%s: sampler state differs:\nref: %+v\ngot: %+v", label, rs, gs)
+		}
+	}
+	if ref.Spans != nil {
+		rs, gs := ref.Spans.CheckpointState(), got.Spans.CheckpointState()
+		if !reflect.DeepEqual(rs, gs) {
+			t.Errorf("%s: span tracer state differs:\nref: %+v\ngot: %+v", label, rs, gs)
+		}
+	}
 }
 
 // checkpointSplit runs base for k steps, checkpoints through the full
@@ -133,6 +145,58 @@ func TestCheckpointResumeCorpus(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(h.Sum64())))
 				ks := []int64{1, total - 1, 1 + rng.Int63n(total)}
 				for _, k := range ks {
+					label := fmt.Sprintf("%s/k=%d", mode, k)
+					got := checkpointSplit(t, base, mode, k, total)
+					if err := adversary.SameExecution(ref.Engine, got.Engine); err != nil {
+						t.Errorf("%s: resumed run diverges: %v", label, err)
+					}
+					requireSameObservers(t, label, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeTelemetryObservers extends the corpus resume
+// gate to the PR 10 telemetry observers: every checked-in scenario is
+// re-run with "sampler" and "spans" added to its observer set, split
+// at an interior step through the full checkpoint wire format, and the
+// resumed run must reproduce the straight run's sampler series and
+// span tracer state bit for bit (on top of the engine equivalence).
+func TestCheckpointResumeTelemetryObservers(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenario corpus (run `go run ./cmd/scenario emit`): %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			base := parseSpecFile(t, path)
+			obsList := append([]string{}, base.Run.Observers...)
+			for _, extra := range []string{ObsSampler, ObsSpans} {
+				seen := false
+				for _, name := range obsList {
+					if name == extra {
+						seen = true
+					}
+				}
+				if !seen {
+					obsList = append(obsList, extra)
+				}
+			}
+			base.Run.Observers = obsList
+			total := base.Run.Steps
+			for _, mode := range []string{ModeStep, ModeLeap} {
+				ref := buildFresh(t, base)
+				if ref.Sampler == nil || ref.Spans == nil {
+					t.Fatal("telemetry observers not built")
+				}
+				runSegment(t, ref, mode, total)
+				h := fnv.New64a()
+				fmt.Fprintf(h, "telemetry/%s/%s", base.Name, mode)
+				rng := rand.New(rand.NewSource(int64(h.Sum64())))
+				for _, k := range []int64{1, 1 + rng.Int63n(total)} {
 					label := fmt.Sprintf("%s/k=%d", mode, k)
 					got := checkpointSplit(t, base, mode, k, total)
 					if err := adversary.SameExecution(ref.Engine, got.Engine); err != nil {

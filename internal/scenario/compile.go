@@ -44,6 +44,8 @@ const (
 	ObsLatency  = "latency"
 	ObsWindow   = "window"
 	ObsMeter    = "meter"
+	ObsSampler  = "sampler"
+	ObsSpans    = "spans"
 )
 
 // compiled is a validated spec resolved against its topology: concrete
@@ -180,9 +182,9 @@ func compile(c ctx, s *Spec) (*compiled, error) {
 	for i, ob := range s.Run.Observers {
 		path := fmt.Sprintf("run.observers[%d]", i)
 		switch ob {
-		case ObsRecorder, ObsLatency, ObsWindow, ObsMeter:
+		case ObsRecorder, ObsLatency, ObsWindow, ObsMeter, ObsSampler, ObsSpans:
 		default:
-			return nil, c.errf(path, "unknown observer %q (recorder|latency|window|meter)", ob)
+			return nil, c.errf(path, "unknown observer %q (recorder|latency|window|meter|sampler|spans)", ob)
 		}
 		if seen[ob] {
 			return nil, c.errf(path, "duplicate observer %q", ob)

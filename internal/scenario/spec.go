@@ -225,7 +225,10 @@ type SeedSpec struct {
 //
 // Observers: "recorder" (queue-size series), "latency" (end-to-end
 // latency stats), "window" (the (w,r) WindowValidator — requires
-// Window), "meter" (the obs metrics registry).
+// Window), "meter" (the obs metrics registry), "sampler" (telemetry
+// time series, stride-matched to the recorder; adds latency-quantile
+// series when "meter" is also configured), "spans" (per-packet causal
+// spans with per-edge residence histograms).
 type RunSpec struct {
 	Steps     int64       `json:"steps"`
 	Mode      string      `json:"mode,omitempty"`

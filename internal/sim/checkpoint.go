@@ -612,6 +612,7 @@ func (e *Engine) Restore(c *Checkpoint) error {
 			e.heaps[i] = nil
 			e.heapStale[i] = 0
 		}
+		e.heapStaleTot = 0
 	}
 	e.now = c.Now
 	e.started = c.Started
@@ -680,6 +681,7 @@ func (e *Engine) Restore(c *Checkpoint) error {
 			}
 			e.heaps[hc.Edge] = h
 			e.heapStale[hc.Edge] = hc.Stale
+			e.heapStaleTot += hc.Stale
 		}
 	}
 	if c.Adversary != nil {

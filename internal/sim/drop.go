@@ -151,6 +151,7 @@ func (e *Engine) evict(eid graph.EdgeID, v int, t int64) {
 	}
 	if e.keyed != nil {
 		e.heapStale[eid]++
+		e.heapStaleTot++
 		if 2*e.heapStale[eid] > len(e.heaps[eid]) {
 			e.compactHeap(int(eid))
 		}

@@ -219,6 +219,10 @@ type Engine struct {
 	keyed     policy.Keyed
 	heaps     []keyHeap
 	heapStale []int
+	// heapStaleTot is sum(heapStale), maintained incrementally so
+	// leap-acceptance probes (obs.Sampler) can ask "any tombstones
+	// anywhere?" in O(1) every window without an O(E) scan.
+	heapStaleTot int
 
 	// midStep is true while stepCore runs its send/receive/inject
 	// substeps; reroutes are legal only before them (from PreStep, or
@@ -803,6 +807,13 @@ func (e *Engine) MaxQueueLen() (graph.EdgeID, int) {
 	}
 	return e.maxEdge, e.curMax
 }
+
+// HeapStaleTotal returns the number of tombstoned keyed-heap entries
+// across all edges, in O(1). Zero under non-keyed policies, and zero
+// whenever no heap carries a stranded entry — the condition under
+// which HeapSkips/HeapCompactions are provably constant through a
+// static drain window (obs.Sampler's drain-acceptance probe).
+func (e *Engine) HeapStaleTotal() int { return e.heapStaleTot }
 
 // Injected returns the lifetime number of injected packets (including
 // initial-configuration seeds).

@@ -130,6 +130,7 @@ func (e *Engine) skipStale(eid graph.EdgeID) {
 	e.stats.HeapSkips++
 	if e.heapStale[eid] > 0 {
 		e.heapStale[eid]--
+		e.heapStaleTot--
 	}
 }
 
@@ -139,6 +140,7 @@ func (e *Engine) skipStale(eid graph.EdgeID) {
 func (e *Engine) tombstone(eid graph.EdgeID, fresh keyEntry) {
 	e.heaps[eid].push(fresh)
 	e.heapStale[eid]++
+	e.heapStaleTot++
 	if 2*e.heapStale[eid] > len(e.heaps[eid]) {
 		e.compactHeap(int(eid))
 	}
@@ -161,5 +163,6 @@ func (e *Engine) compactHeap(eid int) {
 		h.siftDown(i)
 	}
 	e.heaps[eid] = h
+	e.heapStaleTot -= e.heapStale[eid]
 	e.heapStale[eid] = 0
 }
